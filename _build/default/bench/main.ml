@@ -1,0 +1,191 @@
+(* Benchmark & reproduction harness.
+
+   - `dune exec bench/main.exe` runs everything: Table 1, Figures 1-5,
+     the extra experiments X1-X6 (see DESIGN.md section 5) and the
+     bechamel microbenchmarks of the kernels behind each figure.
+   - `dune exec bench/main.exe -- fig3` runs a single artefact
+     (table1, fig1..fig5, x1..x6, micro).
+   - The MCS_RUNS environment variable scales the number of scenario
+     combinations per point (the paper uses 25). *)
+
+module E = Mcs_experiments
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "%s\n%s\n%s\n\n" bar title bar
+
+let print_tables tables = List.iter Mcs_util.Table.print tables
+
+(* ---------- Bechamel microbenchmarks ---------- *)
+
+(* One benchmark per moving part of the reproduction: DAG generation and
+   analysis (all figures), SCRAP-MAX allocation (allocation step of every
+   figure), concurrent mapping (mapping step), discrete-event replay
+   (the timing source of Figures 2-5), and the full per-scenario
+   pipeline. *)
+let micro_tests () =
+  let open Bechamel in
+  let platform = Mcs_platform.Grid5000.rennes () in
+  let ref_cluster = Mcs_sched.Reference_cluster.of_platform platform in
+  let rng = Mcs_prng.Prng.create ~seed:1 in
+  let ptg50 =
+    Mcs_ptg.Random_gen.generate rng
+      { Mcs_ptg.Random_gen.default with tasks = 50 }
+  in
+  let ptgs =
+    List.init 6 (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+  in
+  let allocations =
+    List.map
+      (fun ptg ->
+        let a =
+          Mcs_sched.Allocation.allocate ref_cluster platform ~beta:(1. /. 6.)
+            ptg
+        in
+        (ptg, a.Mcs_sched.Allocation.procs))
+      ptgs
+  in
+  let schedules =
+    Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share platform ptgs
+  in
+  let gen_seed = ref 0 in
+  Test.make_grouped ~name:"mcs"
+    [
+      Test.make ~name:"ptg-generate-50tasks"
+        (Staged.stage (fun () ->
+             incr gen_seed;
+             let rng = Mcs_prng.Prng.create ~seed:!gen_seed in
+             ignore
+               (Mcs_ptg.Random_gen.generate rng
+                  { Mcs_ptg.Random_gen.default with tasks = 50 })));
+      Test.make ~name:"fft-generate-16pt"
+        (Staged.stage (fun () ->
+             incr gen_seed;
+             let rng = Mcs_prng.Prng.create ~seed:!gen_seed in
+             ignore (Mcs_ptg.Fft.generate ~points:16 rng)));
+      Test.make ~name:"allocation-scrapmax-beta0.2"
+        (Staged.stage (fun () ->
+             ignore
+               (Mcs_sched.Allocation.allocate ref_cluster platform ~beta:0.2
+                  ptg50)));
+      Test.make ~name:"allocation-scrapmax-selfish"
+        (Staged.stage (fun () ->
+             ignore
+               (Mcs_sched.Allocation.allocate ref_cluster platform ~beta:1.
+                  ptg50)));
+      Test.make ~name:"mapping-6apps"
+        (Staged.stage (fun () ->
+             ignore (Mcs_sched.List_mapper.run platform ref_cluster allocations)));
+      Test.make ~name:"replay-6apps"
+        (Staged.stage (fun () -> ignore (Mcs_sim.Replay.run platform schedules)));
+      Test.make ~name:"pipeline-6apps-es"
+        (Staged.stage (fun () ->
+             ignore
+               (Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share
+                  platform ptgs)));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  section "Microbenchmarks (bechamel; one per pipeline stage)";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.) () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (micro_tests ())
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | Some [] | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let table =
+    Mcs_util.Table.create ~title:"kernel timings"
+      ~header:[ "benchmark"; "time per run" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "-"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Mcs_util.Table.add_row table [ name; human ])
+    (List.sort compare !rows);
+  Mcs_util.Table.print table
+
+(* ---------- Experiment dispatch ---------- *)
+
+let artefacts =
+  [
+    ("table1", fun () -> Mcs_util.Table.print (E.Table1.table ()));
+    ("fig1", fun () -> print_tables (E.Fig_ready_vs_global.tables ()));
+    ("fig2", fun () -> print_tables (E.Fig_mu_sweep.figure2 ()));
+    ("fig3", fun () -> print_tables (E.Fig_strategies.figure3 ()));
+    ("fig4", fun () -> print_tables (E.Fig_strategies.figure4 ()));
+    ("fig5", fun () -> print_tables (E.Fig_strategies.figure5 ()));
+    ("x1", fun () -> Mcs_util.Table.print (E.Exp_constraint.table ()));
+    ("x2", fun () -> Mcs_util.Table.print (E.Exp_ablation.packing_table ()));
+    ("x3", fun () -> Mcs_util.Table.print (E.Exp_ablation.procedure_table ()));
+    ("x4", fun () -> Mcs_util.Table.print (E.Exp_validation.table ()));
+    ("x5", fun () -> Mcs_util.Table.print (E.Exp_arrivals.table ()));
+    ("x6", fun () -> Mcs_util.Table.print (E.Exp_single_ptg.table ()));
+    ("micro", run_micro);
+  ]
+
+let titles =
+  [
+    ("table1", "Table 1 — platform subsets");
+    ("fig1", "Figure 1 — ready-task vs global ordering");
+    ("fig2", "Figure 2 — mu sweep for WPS-work (random PTGs)");
+    ("fig3", "Figure 3 — 8 strategies on random PTGs");
+    ("fig4", "Figure 4 — 8 strategies on FFT PTGs");
+    ("fig5", "Figure 5 — 6 strategies on Strassen PTGs");
+    ("x1", "X1 — constraint satisfaction audit (Section 4's 99% claim)");
+    ("x2", "X2 — ablation: allocation packing");
+    ("x3", "X3 — ablation: SCRAP vs SCRAP-MAX");
+    ("x4", "X4 — validation: estimated vs simulated makespans");
+    ("x5", "X5 — extension: staggered submission times (future work, Section 8)");
+    ("x6", "X6 — extension: single-PTG algorithm families (HEFT / M-HEFT / HCPA)");
+    ("micro", "Microbenchmarks");
+  ]
+
+let run_one id =
+  match List.assoc_opt id artefacts with
+  | Some f ->
+    (match List.assoc_opt id titles with
+    | Some t when id <> "micro" -> section t
+    | Some _ | None -> ());
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "[%s done in %.1f s]\n\n%!" id (Unix.gettimeofday () -. t0)
+  | None ->
+    prerr_endline
+      ("unknown artefact " ^ id ^ "; use one of: "
+      ^ String.concat " " (List.map fst artefacts));
+    exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as ids) -> List.iter run_one ids
+  | [ _ ] | [] ->
+    Printf.printf
+      "Full reproduction run (MCS_RUNS=%d combinations per point; set \
+       MCS_RUNS to scale).\n\n%!"
+      (E.Sweep.runs_from_env ());
+    List.iter (fun (id, _) -> run_one id) artefacts

@@ -1,0 +1,1 @@
+bin/mcs_experiments_cli.ml: Arg Cmd Cmdliner List Mcs_experiments Mcs_util String Term

@@ -1,0 +1,1 @@
+bin/mcs_experiments_cli.mli:

@@ -1,0 +1,1 @@
+bin/mcs_gen.ml: Arg Cmd Cmdliner Format Mcs_prng Mcs_ptg Mcs_taskmodel Term

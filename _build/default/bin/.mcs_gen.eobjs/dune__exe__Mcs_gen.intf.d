@@ -1,0 +1,1 @@
+bin/mcs_gen.mli:

@@ -1,0 +1,1 @@
+bin/mcs_sched_cli.ml: Arg Array Cmd Cmdliner List Mcs_experiments Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_sim Printf Term

@@ -1,0 +1,1 @@
+bin/mcs_sched_cli.mli:

@@ -1,0 +1,47 @@
+(* Experiment CLI: regenerate any table/figure of the paper (and the
+   repo's extra experiments) by id. See DESIGN.md section 5 for the
+   index. *)
+
+open Cmdliner
+module E = Mcs_experiments
+
+let print_tables tables = List.iter Mcs_util.Table.print tables
+
+let run_experiment id runs =
+  let runs = if runs <= 0 then None else Some runs in
+  match String.lowercase_ascii id with
+  | "table1" | "t1" -> Mcs_util.Table.print (E.Table1.table ())
+  | "fig1" | "f1" -> print_tables (E.Fig_ready_vs_global.tables ?runs ())
+  | "fig2" | "f2" -> print_tables (E.Fig_mu_sweep.figure2 ?runs ())
+  | "fig3" | "f3" -> print_tables (E.Fig_strategies.figure3 ?runs ())
+  | "fig4" | "f4" -> print_tables (E.Fig_strategies.figure4 ?runs ())
+  | "fig5" | "f5" -> print_tables (E.Fig_strategies.figure5 ?runs ())
+  | "x1" | "constraint" -> Mcs_util.Table.print (E.Exp_constraint.table ?runs ())
+  | "x2" | "packing" -> Mcs_util.Table.print (E.Exp_ablation.packing_table ?runs ())
+  | "x3" | "scrap" -> Mcs_util.Table.print (E.Exp_ablation.procedure_table ?runs ())
+  | "x4" | "validation" -> Mcs_util.Table.print (E.Exp_validation.table ?runs ())
+  | "x5" | "arrivals" -> Mcs_util.Table.print (E.Exp_arrivals.table ?runs ())
+  | "x6" | "single" -> Mcs_util.Table.print (E.Exp_single_ptg.table ?runs ())
+  | other ->
+    prerr_endline
+      ("unknown experiment " ^ other
+     ^ " (table1 fig1 fig2 fig3 fig4 fig5 x1 x2 x3 x4 x5 x6)");
+    exit 2
+
+let id =
+  Arg.(value & pos 0 string "table1"
+       & info [] ~docv:"EXPERIMENT"
+           ~doc:"table1, fig1..fig5, x1 (constraint), x2 (packing), x3 \
+                 (scrap), x4 (validation)")
+
+let runs =
+  Arg.(value & opt int 0
+       & info [ "runs" ]
+           ~doc:"combinations per (count, platform) point; 0 = MCS_RUNS \
+                 env or the paper's 25")
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v (Cmd.info "mcs_experiments" ~doc) Term.(const run_experiment $ id $ runs)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,119 @@
+(* Scheduling CLI: draw a scenario (family, count, seed), schedule it on
+   a Grid'5000 subset under a chosen strategy, and print betas, the
+   Gantt chart, and estimated vs simulated makespans. *)
+
+open Cmdliner
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+module Schedule = Mcs_sched.Schedule
+module Workload = Mcs_experiments.Workload
+
+let parse_strategy = function
+  | "S" -> Ok Strategy.Selfish
+  | "ES" -> Ok Strategy.Equal_share
+  | "PS-cp" -> Ok (Strategy.Proportional Strategy.Cp)
+  | "PS-width" -> Ok (Strategy.Proportional Strategy.Width)
+  | "PS-work" -> Ok (Strategy.Proportional Strategy.Work)
+  | "WPS-cp" -> Ok (Strategy.Weighted (Strategy.Cp, Strategy.paper_mu Strategy.Cp))
+  | "WPS-width" ->
+    Ok (Strategy.Weighted (Strategy.Width, Strategy.paper_mu Strategy.Width))
+  | "WPS-work" ->
+    Ok (Strategy.Weighted (Strategy.Work, Strategy.paper_mu Strategy.Work))
+  | s -> Error ("unknown strategy " ^ s)
+
+let parse_family = function
+  | "random" -> Ok Workload.Random_mixed_scenarios
+  | "fft" -> Ok Workload.Fft_ptgs
+  | "strassen" -> Ok Workload.Strassen_ptgs
+  | s -> Error ("unknown family " ^ s)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
+
+let run site strategy family count seed csv json =
+  let platform =
+    match Mcs_platform.Grid5000.by_name site with
+    | Some p -> p
+    | None ->
+      prerr_endline ("unknown site: " ^ site ^ " (lille|nancy|rennes|sophia)");
+      exit 2
+  in
+  let strategy =
+    match parse_strategy strategy with
+    | Ok s -> s
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let family =
+    match parse_family family with
+    | Ok f -> f
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let rng = Mcs_prng.Prng.create ~seed in
+  let ptgs = Workload.draw rng family ~count in
+  let prepared = Pipeline.prepare ~strategy platform ptgs in
+  let schedules = Pipeline.schedule_concurrent ~strategy platform ptgs in
+  (match Schedule.validate ~platform schedules with
+  | Ok () -> ()
+  | Error v ->
+    prerr_endline ("internal error, invalid schedule: " ^ v.Schedule.message);
+    exit 1);
+  let sim = Mcs_sim.Replay.run platform schedules in
+  Printf.printf "%s, %d %s applications, strategy %s\n\n" site count
+    (Workload.family_name family) (Strategy.name strategy);
+  List.iteri
+    (fun i sched ->
+      Printf.printf
+        "app %d: beta=%.3f estimated=%.2fs simulated=%.2fs (%s)\n" i
+        prepared.Pipeline.betas.(i) sched.Schedule.makespan
+        sim.Mcs_sim.Replay.makespans.(i)
+        sched.Schedule.ptg.Mcs_ptg.Ptg.name)
+    schedules;
+  print_newline ();
+  print_string (Schedule.gantt ~platform schedules);
+  (match csv with
+  | Some path -> write_file path (Mcs_sched.Trace.to_csv schedules)
+  | None -> ());
+  match json with
+  | Some path -> write_file path (Mcs_sched.Trace.to_json schedules)
+  | None -> ()
+
+let site =
+  Arg.(value & opt string "rennes"
+       & info [ "site" ] ~doc:"lille, nancy, rennes or sophia")
+
+let strategy =
+  Arg.(value & opt string "WPS-width"
+       & info [ "strategy" ]
+           ~doc:"S, ES, PS-cp, PS-width, PS-work, WPS-cp, WPS-width, WPS-work")
+
+let family =
+  Arg.(value & opt string "random"
+       & info [ "family" ] ~doc:"random, fft or strassen")
+
+let count =
+  Arg.(value & opt int 4 & info [ "count" ] ~doc:"concurrent applications")
+
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed")
+
+let csv =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~doc:"export the schedules as CSV to this path")
+
+let json =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~doc:"export the schedules as JSON to this path")
+
+let cmd =
+  let doc = "schedule concurrent PTGs on a multi-cluster" in
+  Cmd.v
+    (Cmd.info "mcs_sched" ~doc)
+    Term.(const run $ site $ strategy $ family $ count $ seed $ csv $ json)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/batch_workflows.ml: Array Float List Mcs_experiments Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_util Printf

@@ -1,0 +1,1 @@
+examples/custom_platform.ml: Array Filename Format List Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_util Printf

@@ -1,0 +1,1 @@
+examples/export_traces.ml: Filename List Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Printf String

@@ -1,0 +1,1 @@
+examples/fair_sharing.ml: Array Format List Mcs_experiments Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_sim Printf

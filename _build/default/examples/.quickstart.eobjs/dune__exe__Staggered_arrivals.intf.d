@@ -1,0 +1,1 @@
+examples/staggered_arrivals.mli:

@@ -1,0 +1,81 @@
+(* Batch of workflows: a campaign of ten workflow-shaped PTGs (random
+   layered graphs with jump edges, as produced by scientific workflow
+   composition) is scheduled under every strategy of the paper; the
+   example prints the unfairness/makespan trade-off table and the
+   per-cluster utilisation of the best compromise.
+
+   Run with: dune exec examples/batch_workflows.exe *)
+
+module P = Mcs_platform.Platform
+module Ptg = Mcs_ptg.Ptg
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+module Schedule = Mcs_sched.Schedule
+module Runner = Mcs_experiments.Runner
+module Table = Mcs_util.Table
+
+let () =
+  let platform = Mcs_platform.Grid5000.nancy () in
+  let rng = Mcs_prng.Prng.create ~seed:2024 in
+  let ptgs =
+    List.init 10 (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng
+          {
+            Mcs_ptg.Random_gen.default with
+            tasks = 20 + (10 * (id mod 3));
+            jump = (if id mod 2 = 0 then 2 else 4);
+            density = 0.2;
+          })
+  in
+  Printf.printf "Campaign of %d workflows on %s (%d processors)\n\n"
+    (List.length ptgs) (P.name platform) (P.total_procs platform);
+
+  let results = Runner.evaluate platform ptgs Strategy.paper_eight in
+  let best =
+    List.fold_left
+      (fun acc r -> Float.min acc r.Runner.global_makespan)
+      Float.infinity results
+  in
+  let table =
+    Table.create ~title:"Strategy trade-offs on this campaign"
+      ~header:
+        [ "strategy"; "unfairness"; "global makespan (s)"; "vs best" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Strategy.name r.Runner.strategy;
+          Printf.sprintf "%.3f" r.Runner.unfairness;
+          Printf.sprintf "%.1f" r.Runner.global_makespan;
+          Printf.sprintf "%.2fx" (r.Runner.global_makespan /. best);
+        ])
+    results;
+  Table.print table;
+
+  (* Re-run the WPS-work compromise and look at where the work landed. *)
+  let strategy = Strategy.Weighted (Strategy.Work, 0.7) in
+  let schedules = Pipeline.schedule_concurrent ~strategy platform ptgs in
+  let horizon =
+    List.fold_left (fun acc s -> Float.max acc s.Schedule.makespan) 0. schedules
+  in
+  let util =
+    Table.create
+      ~title:
+        (Printf.sprintf "Cluster utilisation under %s (horizon %.1f s)"
+           (Strategy.name strategy) horizon)
+      ~header:[ "cluster"; "busy proc-seconds"; "utilisation" ]
+  in
+  let busy = Schedule.cluster_busy_time ~platform schedules in
+  Array.iteri
+    (fun k c ->
+      Table.add_row util
+        [
+          c.P.cluster_name;
+          Printf.sprintf "%.0f" busy.(k);
+          Printf.sprintf "%.1f%%"
+            (100. *. busy.(k) /. (float_of_int c.P.procs *. horizon));
+        ])
+    (P.clusters platform);
+  Table.print util;
+  print_string (Schedule.gantt ~platform schedules)

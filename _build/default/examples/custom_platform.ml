@@ -1,0 +1,77 @@
+(* Custom platform: the library is not tied to the Grid'5000 subsets.
+   This example models a small university machine room — two generations
+   of clusters plus a GPU-era fat cluster, each on its own switch — and
+   studies how a Strassen kernel's makespan and efficiency evolve with
+   the resource constraint beta, reproducing in miniature the trade-off
+   SCRAP-MAX is built around. It also exports one PTG to Graphviz.
+
+   Run with: dune exec examples/custom_platform.exe *)
+
+module P = Mcs_platform.Platform
+module Ptg = Mcs_ptg.Ptg
+module Reference_cluster = Mcs_sched.Reference_cluster
+module Allocation = Mcs_sched.Allocation
+module List_mapper = Mcs_sched.List_mapper
+module Schedule = Mcs_sched.Schedule
+module Table = Mcs_util.Table
+
+let () =
+  let platform =
+    P.make ~name:"machine-room" ~latency:5e-5
+      [
+        { P.cluster_name = "old-xeon"; procs = 48; gflops = 2.1; switch = 0 };
+        { P.cluster_name = "new-xeon"; procs = 96; gflops = 4.8; switch = 1 };
+        { P.cluster_name = "fat-node"; procs = 16; gflops = 7.2; switch = 2 };
+      ]
+  in
+  print_string (P.describe platform);
+  Printf.printf "aggregate power: %.1f GFlop/s\n\n" (P.total_power platform);
+
+  let ref_cluster = Reference_cluster.of_platform platform in
+  Printf.printf
+    "reference cluster: %d virtual processors at %.2f GFlop/s\n\n"
+    ref_cluster.Reference_cluster.procs ref_cluster.Reference_cluster.speed;
+
+  let rng = Mcs_prng.Prng.create ~seed:11 in
+  let ptg = Mcs_ptg.Strassen.generate ~data:6.4e7 rng in
+  Format.printf "application: %a@.@." Ptg.pp ptg;
+
+  let table =
+    Table.create
+      ~title:"Strassen under increasing resource constraints (SCRAP-MAX)"
+      ~header:
+        [ "beta"; "allocated proc-equivalents"; "makespan (s)";
+          "parallel efficiency" ]
+  in
+  List.iter
+    (fun beta ->
+      let alloc = Allocation.allocate ref_cluster platform ~beta ptg in
+      let schedules =
+        List_mapper.run platform ref_cluster [ (ptg, alloc.Allocation.procs) ]
+      in
+      let sched = List.hd schedules in
+      let total_alloc =
+        Array.fold_left ( + ) 0 alloc.Allocation.procs
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" beta;
+          string_of_int total_alloc;
+          Printf.sprintf "%.2f" sched.Schedule.makespan;
+          Printf.sprintf "%.0f%%"
+            (100. *. Schedule.parallel_efficiency ~platform sched);
+        ])
+    [ 0.05; 0.1; 0.2; 0.4; 0.7; 1.0 ];
+  Table.print table;
+  print_endline
+    "Loose constraints shorten the makespan but burn processor time on\n\
+     Amdahl-limited tasks; tight constraints keep efficiency high -- the\n\
+     reason constrained allocations leave room for competitors.";
+  print_newline ();
+
+  (* Export the PTG for inspection with Graphviz. *)
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "strassen.dot" in
+  let oc = open_out path in
+  output_string oc (Ptg.to_dot ptg);
+  close_out oc;
+  Printf.printf "wrote %s (render with: dot -Tsvg %s)\n" path path

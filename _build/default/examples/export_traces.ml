@@ -1,0 +1,45 @@
+(* Trace export: schedule a small scenario, validate it, and write the
+   result both as CSV (one row per placement, ready for pandas or a
+   spreadsheet Gantt) and as JSON, plus the DOT of one application.
+
+   Run with: dune exec examples/export_traces.exe *)
+
+module Schedule = Mcs_sched.Schedule
+module Strategy = Mcs_sched.Strategy
+
+let write path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)
+
+let () =
+  let platform = Mcs_platform.Grid5000.lille () in
+  let rng = Mcs_prng.Prng.create ~seed:99 in
+  let ptgs =
+    [
+      Mcs_ptg.Random_gen.generate ~id:0 rng Mcs_ptg.Random_gen.default;
+      Mcs_ptg.Fft.generate ~id:1 ~points:8 rng;
+      Mcs_ptg.Strassen.generate ~id:2 rng;
+    ]
+  in
+  let schedules =
+    Mcs_sched.Pipeline.schedule_concurrent
+      ~strategy:(Strategy.Weighted (Strategy.Width, 0.5))
+      platform ptgs
+  in
+  (match Schedule.validate ~platform schedules with
+  | Ok () -> print_endline "schedules: valid"
+  | Error v -> failwith v.Schedule.message);
+  let dir = Filename.get_temp_dir_name () in
+  write (Filename.concat dir "mcs_schedule.csv")
+    (Mcs_sched.Trace.to_csv schedules);
+  write (Filename.concat dir "mcs_schedule.json")
+    (Mcs_sched.Trace.to_json schedules);
+  write (Filename.concat dir "mcs_fft.dot")
+    (Mcs_ptg.Ptg.to_dot (List.nth ptgs 1));
+  (* A taste of the CSV. *)
+  let csv = Mcs_sched.Trace.to_csv schedules in
+  let lines = String.split_on_char '\n' csv in
+  print_newline ();
+  List.iteri (fun i l -> if i < 6 then print_endline l) lines

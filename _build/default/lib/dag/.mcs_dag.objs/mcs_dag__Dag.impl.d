@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Buffer Hashtbl List Mcs_util Printf

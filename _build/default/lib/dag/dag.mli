@@ -1,0 +1,109 @@
+(** Directed acyclic graphs over integer nodes.
+
+    This is the structural layer under {!Mcs_ptg.Ptg}: nodes are
+    [0 .. node_count - 1], edges carry an integer identifier so that
+    clients can attach weights in parallel arrays. Graphs are immutable
+    once built; {!of_edges} validates acyclicity. *)
+
+type t
+
+exception Cycle of int list
+(** Raised by {!of_edges} with the offending cycle (node list). *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the DAG on nodes [0..n-1]. Duplicate edges
+    are collapsed; self loops raise {!Cycle}.
+    @raise Cycle if the edge set contains a directed cycle.
+    @raise Invalid_argument on out-of-range endpoints or [n < 0]. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val edge : t -> int -> int * int
+(** [edge t e] is the [(src, dst)] pair of edge id [e]. *)
+
+val edge_id : t -> src:int -> dst:int -> int option
+(** Identifier of the edge [src -> dst], if present. *)
+
+val succs : t -> int -> (int * int) array
+(** [succs t v] is the [(dst, edge_id)] pairs leaving [v]. Do not mutate. *)
+
+val preds : t -> int -> (int * int) array
+(** [preds t v] is the [(src, edge_id)] pairs entering [v]. Do not mutate. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val sources : t -> int list
+(** Nodes with no predecessor, ascending. *)
+
+val sinks : t -> int list
+(** Nodes with no successor, ascending. *)
+
+val topological_order : t -> int array
+(** A topological order of all nodes (deterministic: Kahn's algorithm
+    with a min-ordered frontier). *)
+
+val depth_levels : t -> int array
+(** Precedence level of each node: sources are at level 0 and
+    [level v = 1 + max (level pred)] — the paper's precedence levels. *)
+
+val level_members : t -> int array array
+(** [level_members t].(l) lists the nodes whose {!depth_levels} is [l]. *)
+
+val depth : t -> int
+(** Number of distinct precedence levels ([0] for the empty graph). *)
+
+val max_width : t -> int
+(** Size of the largest precedence level ([0] for the empty graph). *)
+
+val longest_path :
+  t -> node_weight:(int -> float) -> edge_weight:(int -> float) ->
+  float * int list
+(** [longest_path t ~node_weight ~edge_weight] is the length and node
+    sequence of a longest (critical) path, where path length is the sum
+    of node weights plus connecting edge weights. Returns [(0., [])] on
+    the empty graph. *)
+
+val top_levels :
+  t -> node_weight:(int -> float) -> edge_weight:(int -> float) ->
+  float array
+(** [top_levels].(v): longest path length from any source up to but
+    excluding [v] (0 for sources). *)
+
+val bottom_levels :
+  t -> node_weight:(int -> float) -> edge_weight:(int -> float) ->
+  float array
+(** [bottom_levels].(v): longest path length from [v] (inclusive) to any
+    sink — the list-scheduling priority used by the mapper. *)
+
+val reachable_from : t -> int -> bool array
+(** Nodes reachable from the given node (inclusive). *)
+
+val is_edge : t -> src:int -> dst:int -> bool
+
+val has_path : t -> src:int -> dst:int -> bool
+(** True when a directed path (possibly empty) links [src] to [dst]. *)
+
+val map_nodes : t -> f:(int -> 'a) -> 'a array
+(** Convenience: array of [f v] for each node. *)
+
+val transitive_closure : t -> t
+(** DAG with an edge [u -> v] for every non-trivial path of [t]. Edge
+    identifiers are renumbered. *)
+
+val transitive_reduction : t -> t
+(** Smallest sub-DAG with the same reachability: edges implied by a
+    longer path are removed (unique for DAGs). Edge identifiers are
+    renumbered. *)
+
+val is_transitively_redundant : t -> int -> bool
+(** Whether edge [e] is implied by a longer path from its source to its
+    destination. *)
+
+val to_dot :
+  ?graph_name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(int -> string) ->
+  t -> string
+(** Graphviz rendering, for the [mcs_gen] tool and debugging. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: List Mcs_sched Mcs_util Runner Sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_arrivals.ml: Array Float List Mcs_metrics Mcs_prng Mcs_sched Mcs_util Printf Runner Sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_arrivals.mli: Mcs_sched Mcs_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_constraint.ml: List Mcs_platform Mcs_prng Mcs_sched Mcs_util Printf Sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_single_ptg.ml: Float List Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_util Printf Sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_single_ptg.mli: Mcs_util

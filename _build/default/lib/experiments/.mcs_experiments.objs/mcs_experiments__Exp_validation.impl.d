@@ -1,0 +1,1 @@
+lib/experiments/exp_validation.ml: Array Float List Mcs_platform Mcs_prng Mcs_sched Mcs_sim Mcs_util Printf Sweep Workload

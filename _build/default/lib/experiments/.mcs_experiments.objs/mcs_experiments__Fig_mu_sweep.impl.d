@@ -1,0 +1,1 @@
+lib/experiments/fig_mu_sweep.ml: Float List Mcs_sched Mcs_util Printf Runner Sweep Workload

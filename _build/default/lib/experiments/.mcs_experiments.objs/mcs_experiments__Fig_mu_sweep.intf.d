@@ -1,0 +1,1 @@
+lib/experiments/fig_mu_sweep.mli: Mcs_sched Mcs_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_ready_vs_global.ml: Array Float List Mcs_platform Mcs_ptg Mcs_sched Mcs_taskmodel Mcs_util Printf Runner Sweep Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_ready_vs_global.mli: Mcs_util

@@ -1,0 +1,1 @@
+lib/experiments/fig_strategies.ml: Float List Mcs_metrics Mcs_sched Mcs_util Printf Runner Sweep Workload

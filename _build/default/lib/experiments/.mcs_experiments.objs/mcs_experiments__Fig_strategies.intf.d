@@ -1,0 +1,1 @@
+lib/experiments/fig_strategies.mli: Mcs_sched Mcs_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array List Mcs_metrics Mcs_sched Mcs_sim Mcs_util

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Mcs_platform Mcs_ptg Mcs_sched

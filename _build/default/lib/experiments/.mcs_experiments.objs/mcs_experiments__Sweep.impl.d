@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array List Mcs_platform Mcs_prng Mcs_util Sys Workload

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Mcs_platform Mcs_ptg Workload

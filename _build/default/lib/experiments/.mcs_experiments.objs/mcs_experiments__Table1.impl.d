@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array List Mcs_platform Mcs_util Printf

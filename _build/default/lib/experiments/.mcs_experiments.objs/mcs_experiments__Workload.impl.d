@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: List Mcs_prng Mcs_ptg Mcs_taskmodel

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Mcs_prng Mcs_ptg Mcs_taskmodel

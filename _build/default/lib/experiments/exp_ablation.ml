@@ -1,0 +1,73 @@
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+module List_mapper = Mcs_sched.List_mapper
+module Allocation = Mcs_sched.Allocation
+module Table = Mcs_util.Table
+
+(* Compare two pipeline configurations under ES on random-PTG scenarios;
+   one table row per PTG count. *)
+let compare_configs ~title ~label_a ~label_b ~config_a ~config_b ?runs
+    ?(counts = Workload.paper_counts) ~seed () =
+  let runs =
+    match runs with Some r -> r | None -> Sweep.runs_from_env ()
+  in
+  let table =
+    Table.create ~title
+      ~header:
+        [ "#PTGs";
+          "unfairness " ^ label_a; "unfairness " ^ label_b;
+          "makespan (s) " ^ label_a; "makespan (s) " ^ label_b ]
+  in
+  List.iter
+    (fun count ->
+      let per_scenario =
+        Mcs_util.Parmap.map
+          (fun (platform, ptgs) ->
+            let run config =
+              match
+                Runner.evaluate ~config platform ptgs
+                  [ Strategy.Equal_share ]
+              with
+              | [ r ] -> r
+              | _ -> assert false
+            in
+            (run config_a, run config_b))
+          (Sweep.scenarios ~family:Workload.Random_mixed_scenarios ~count
+             ~runs ~seed)
+      in
+      let mean f = Sweep.mean_over f per_scenario in
+      ignore
+        (Table.add_float_row table (string_of_int count)
+           [
+             mean (fun (a, _) -> a.Runner.unfairness);
+             mean (fun (_, b) -> b.Runner.unfairness);
+             mean (fun (a, _) -> a.Runner.global_makespan);
+             mean (fun (_, b) -> b.Runner.global_makespan);
+           ]))
+    counts;
+  table
+
+let packing_table ?runs ?counts () =
+  let with_packing = Pipeline.default_config in
+  let without_packing =
+    {
+      Pipeline.default_config with
+      mapper = { List_mapper.default_options with packing = false };
+    }
+  in
+  compare_configs
+    ~title:
+      "Ablation — allocation packing on/off (ES strategy, random PTGs)"
+    ~label_a:"packing" ~label_b:"no packing" ~config_a:with_packing
+    ~config_b:without_packing ?runs ?counts ~seed:106 ()
+
+let procedure_table ?runs ?counts () =
+  let scrap_max = Pipeline.default_config in
+  let scrap =
+    { Pipeline.default_config with procedure = Allocation.Scrap }
+  in
+  compare_configs
+    ~title:
+      "Ablation — SCRAP vs SCRAP-MAX allocation (ES strategy, random PTGs)"
+    ~label_a:"SCRAP-MAX" ~label_b:"SCRAP" ~config_a:scrap_max ~config_b:scrap
+    ?runs ?counts ~seed:107 ()

@@ -1,0 +1,28 @@
+(** Staggered submissions — the paper's future-work scenario
+    (Section 8): applications arrive over time instead of together.
+
+    Submission times are drawn from a Poisson process whose mean
+    inter-arrival is a fraction of the typical dedicated makespan, so
+    applications genuinely overlap. Per-application makespans are
+    response times (completion − submission) and the slowdown baseline
+    M_own stays the dedicated-platform run, as in the paper. β is
+    computed over the full submission set (an offline approximation of
+    the dynamic recomputation the paper leaves open — see DESIGN.md). *)
+
+type point = {
+  strategy : Mcs_sched.Strategy.t;
+  count : int;
+  unfairness : float;
+  relative_makespan : float;
+}
+
+val compute :
+  ?runs:int ->
+  ?counts:int list ->
+  ?seed:int ->
+  ?mean_interarrival:float ->
+  unit ->
+  point list
+(** Default mean inter-arrival: 30 s. *)
+
+val table : ?runs:int -> unit -> Mcs_util.Table.t

@@ -1,0 +1,89 @@
+module P = Mcs_platform.Platform
+module Prng = Mcs_prng.Prng
+module Ptg = Mcs_ptg.Ptg
+module Schedule = Mcs_sched.Schedule
+module Mheft = Mcs_sched.Mheft
+module Pipeline = Mcs_sched.Pipeline
+module Table = Mcs_util.Table
+
+type stats = {
+  algorithm : string;
+  mean_relative_makespan : float;
+  mean_efficiency : float;
+}
+
+let algorithms =
+  [
+    ("HEFT", fun platform ptg -> Mheft.schedule_heft platform ptg);
+    ("M-HEFT", fun platform ptg -> Mheft.schedule platform ptg);
+    ( "M-HEFT eff>=0.5",
+      fun platform ptg ->
+        Mheft.schedule
+          ~options:{ Mheft.default_options with min_efficiency = 0.5 }
+          platform ptg );
+    ( "SCRAP-MAX beta=1 (HCPA)",
+      fun platform ptg -> Pipeline.schedule_alone platform ptg );
+  ]
+
+let efficiency platform _ptg sched =
+  match Schedule.parallel_efficiency ~platform sched with
+  | 0. -> 1. (* degenerate empty schedule: count as perfectly efficient *)
+  | e -> e
+
+let compute ?runs ?(seed = 77) () =
+  let runs =
+    match runs with Some r -> r | None -> Sweep.runs_from_env ()
+  in
+  let scenarios =
+    List.concat_map
+      (fun (platform, ptgs) -> List.map (fun p -> (platform, p)) ptgs)
+      (Sweep.scenarios ~family:Workload.Random_mixed_scenarios ~count:1 ~runs
+         ~seed)
+  in
+  let per_scenario =
+    Mcs_util.Parmap.map
+      (fun (platform, ptg) ->
+        let entries =
+          List.map
+            (fun (name, algo) ->
+              let sched = algo platform ptg in
+              (name, sched.Schedule.makespan, efficiency platform ptg sched))
+            algorithms
+        in
+        let best =
+          List.fold_left (fun acc (_, m, _) -> Float.min acc m) Float.infinity
+            entries
+        in
+        List.map (fun (name, m, e) -> (name, m /. best, e)) entries)
+      scenarios
+  in
+  List.mapi
+    (fun i (name, _) ->
+      let mine = List.map (fun entries -> List.nth entries i) per_scenario in
+      {
+        algorithm = name;
+        mean_relative_makespan =
+          Sweep.mean_over (fun (_, m, _) -> m) mine;
+        mean_efficiency = Sweep.mean_over (fun (_, _, e) -> e) mine;
+      })
+    algorithms
+
+let table ?runs () =
+  let stats = compute ?runs () in
+  let t =
+    Table.create
+      ~title:
+        "Single-PTG comparison — makespan vs parallel efficiency (random \
+         PTGs, 4 platforms)"
+      ~header:[ "algorithm"; "relative makespan"; "parallel efficiency" ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.algorithm;
+          Printf.sprintf "%.2f" s.mean_relative_makespan;
+          Printf.sprintf "%.0f%%" (100. *. s.mean_efficiency);
+        ])
+    stats;
+  t

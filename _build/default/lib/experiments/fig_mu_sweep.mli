@@ -1,0 +1,35 @@
+(** Figure 2: evolution of unfairness and average makespan when the µ
+    parameter of a WPS strategy sweeps from 0 (pure PS) to 1 (pure ES),
+    on random PTGs.
+
+    Reproduces the calibration that led the paper to retain µ = 0.7 for
+    WPS-work: unfairness decreases with µ while average makespan
+    increases, with diminishing fairness returns past 0.7. *)
+
+type point = {
+  mu : float;
+  count : int;
+  unfairness : float;
+  avg_makespan : float;  (** plain average over runs, in seconds *)
+}
+
+val paper_mus : float list
+(** The abscissas of Figure 2: 0, 0.3, 0.5, 0.7, 0.8, 0.9, 1. *)
+
+val compute :
+  ?runs:int ->
+  ?counts:int list ->
+  ?mus:float list ->
+  ?seed:int ->
+  ?metric:Mcs_sched.Strategy.metric ->
+  ?family:Workload.family ->
+  unit ->
+  point list
+(** Defaults: paper counts and µ values, [Work] metric, random PTGs. *)
+
+val tables : metric:Mcs_sched.Strategy.metric -> point list -> Mcs_util.Table.t list
+(** Two tables (unfairness, average makespan): one row per PTG count,
+    one column per µ. *)
+
+val figure2 : ?runs:int -> unit -> Mcs_util.Table.t list
+(** The WPS-work sweep of Figure 2. *)

@@ -1,0 +1,139 @@
+module Platform = Mcs_platform.Platform
+module Task = Mcs_taskmodel.Task
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+module List_mapper = Mcs_sched.List_mapper
+module Schedule = Mcs_sched.Schedule
+module Table = Mcs_util.Table
+
+let toy_platform () =
+  Platform.make ~name:"toy"
+    [ { Platform.cluster_name = "duo"; procs = 2; gflops = 1.; switch = 0 } ]
+
+(* A chain of perfectly sequential tasks (α = 1, so allocations stay at
+   one processor) whose durations on a 1 GFlop/s processor are given in
+   seconds; communications are free to keep the example about ordering. *)
+let chain ~id durations =
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun seconds ->
+           Task.make ~data:(seconds *. 1e9) ~complexity:(Stencil 1.) ~alpha:1.)
+         durations)
+  in
+  let edges =
+    List.init
+      (Array.length tasks - 1)
+      (fun i -> (i, i + 1, 0.))
+  in
+  Mcs_ptg.Builder.build ~id ~name:(Printf.sprintf "chain%d" id) ~tasks ~edges
+
+let config_of ordering =
+  {
+    Pipeline.default_config with
+    mapper = { List_mapper.default_options with ordering };
+  }
+
+let illustration () =
+  let platform = toy_platform () in
+  let big = chain ~id:0 [ 10.; 8.; 6.; 4. ] in
+  let small = chain ~id:1 [ 1.; 1. ] in
+  let table =
+    Table.create
+      ~title:
+        "Figure 1 — ready-task vs global ordering (big chain 10+8+6+4 s, \
+         small chain 1+1 s, two processors, beta = 1/2)"
+      ~header:[ "ordering"; "application"; "start (s)"; "makespan (s)" ]
+  in
+  List.iter
+    (fun ordering ->
+      let schedules =
+        Pipeline.schedule_concurrent ~config:(config_of ordering)
+          ~strategy:Strategy.Equal_share platform [ big; small ]
+      in
+      let name =
+        match ordering with
+        | List_mapper.Ready_tasks -> "ready tasks"
+        | List_mapper.Global_fcfs -> "global (FCFS)"
+        | List_mapper.Global_backfill -> "global (backfill)"
+      in
+      List.iteri
+        (fun i sched ->
+          let first_real_start =
+            Array.fold_left
+              (fun acc pl ->
+                if Array.length pl.Schedule.procs > 0 then
+                  Float.min acc pl.Schedule.start
+                else acc)
+              Float.infinity sched.Schedule.placements
+          in
+          Table.add_row table
+            [
+              (if i = 0 then name else "");
+              (if i = 0 then "big" else "small");
+              Table.fmt_float first_real_start;
+              Table.fmt_float sched.Schedule.makespan;
+            ])
+        schedules)
+    [ List_mapper.Ready_tasks; List_mapper.Global_fcfs;
+      List_mapper.Global_backfill ];
+  table
+
+let aggregate ?runs ?(counts = Workload.paper_counts) () =
+  let runs =
+    match runs with Some r -> r | None -> Sweep.runs_from_env ()
+  in
+  let table =
+    Table.create
+      ~title:
+        "Mapping ablation — ready-task vs global FCFS vs conservative \
+         backfilling (ES strategy, random PTGs)"
+      ~header:
+        [ "#PTGs"; "unfairness ready"; "unfairness fcfs";
+          "unfairness backfill"; "rel. makespan ready";
+          "rel. makespan fcfs"; "rel. makespan backfill" ]
+  in
+  List.iter
+    (fun count ->
+      let per_scenario =
+        Mcs_util.Parmap.map
+          (fun (platform, ptgs) ->
+            let run ordering =
+              match
+                Runner.evaluate ~config:(config_of ordering) platform ptgs
+                  [ Strategy.Equal_share ]
+              with
+              | [ r ] -> r
+              | _ -> assert false
+            in
+            let ready = run List_mapper.Ready_tasks in
+            let fcfs = run List_mapper.Global_fcfs in
+            let backfill = run List_mapper.Global_backfill in
+            let best =
+              Float.min ready.Runner.global_makespan
+                (Float.min fcfs.Runner.global_makespan
+                   backfill.Runner.global_makespan)
+            in
+            ( (ready.Runner.unfairness, fcfs.Runner.unfairness,
+               backfill.Runner.unfairness),
+              ( ready.Runner.global_makespan /. best,
+                fcfs.Runner.global_makespan /. best,
+                backfill.Runner.global_makespan /. best ) ))
+          (Sweep.scenarios ~family:Workload.Random_mixed_scenarios ~count
+             ~runs ~seed:105)
+      in
+      let mean f = Sweep.mean_over f per_scenario in
+      ignore
+        (Table.add_float_row table (string_of_int count)
+           [
+             mean (fun ((a, _, _), _) -> a);
+             mean (fun ((_, b, _), _) -> b);
+             mean (fun ((_, _, c), _) -> c);
+             mean (fun (_, (d, _, _)) -> d);
+             mean (fun (_, (_, e, _)) -> e);
+             mean (fun (_, (_, _, f)) -> f);
+           ]))
+    counts;
+  table
+
+let tables ?runs () = [ illustration (); aggregate ?runs () ]

@@ -1,0 +1,128 @@
+module Strategy = Mcs_sched.Strategy
+module Metrics = Mcs_metrics.Metrics
+module Table = Mcs_util.Table
+
+type point = {
+  count : int;
+  strategy : Strategy.t;
+  unfairness : float;
+  relative_makespan : float;
+  avg_makespan : float;
+}
+
+(* Per-scenario evaluation of all strategies, normalising makespans by
+   the best global makespan achieved on the scenario. *)
+let evaluate_scenario platform ptgs strategies =
+  let results = Runner.evaluate platform ptgs strategies in
+  let best =
+    List.fold_left
+      (fun acc r -> Float.min acc r.Runner.global_makespan)
+      Float.infinity results
+  in
+  List.map
+    (fun r ->
+      ( r.Runner.strategy,
+        r.Runner.unfairness,
+        Metrics.relative_makespan r.Runner.global_makespan ~best,
+        r.Runner.avg_makespan ))
+    results
+
+let compute ?runs ?(counts = Workload.paper_counts) ?(seed = 2008) ~family
+    ~strategies () =
+  let runs =
+    match runs with Some r -> r | None -> Sweep.runs_from_env ()
+  in
+  List.concat_map
+    (fun count ->
+      let scenario_results =
+        Mcs_util.Parmap.map
+          (fun (platform, ptgs) -> evaluate_scenario platform ptgs strategies)
+          (Sweep.scenarios ~family ~count ~runs ~seed)
+      in
+      List.mapi
+        (fun si strategy ->
+          let per_scenario =
+            List.map (fun results -> List.nth results si) scenario_results
+          in
+          let mean f = Sweep.mean_over f per_scenario in
+          {
+            count;
+            strategy;
+            unfairness = mean (fun (_, u, _, _) -> u);
+            relative_makespan = mean (fun (_, _, m, _) -> m);
+            avg_makespan = mean (fun (_, _, _, a) -> a);
+          })
+        strategies)
+    counts
+
+let tables ~family points =
+  let counts =
+    List.sort_uniq compare (List.map (fun p -> p.count) points)
+  in
+  let strategies =
+    List.fold_left
+      (fun acc p ->
+        if List.exists (fun s -> s = p.strategy) acc then acc
+        else acc @ [ p.strategy ])
+      [] points
+  in
+  let header =
+    "strategy" :: List.map (fun c -> string_of_int c ^ " PTGs") counts
+  in
+  let series metric title =
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "%s — %s" title (Workload.family_name family))
+        ~header
+    in
+    List.iter
+      (fun strategy ->
+        let row =
+          List.map
+            (fun count ->
+              match
+                List.find_opt
+                  (fun p -> p.count = count && p.strategy = strategy)
+                  points
+              with
+              | Some p -> metric p
+              | None -> Float.nan)
+            counts
+        in
+        ignore (Table.add_float_row table (Strategy.name strategy) row))
+      strategies;
+    table
+  in
+  [
+    series (fun p -> p.unfairness) "Unfairness";
+    series (fun p -> p.relative_makespan) "Average relative makespan";
+  ]
+
+let figure3 ?runs () =
+  let family = Workload.Random_mixed_scenarios in
+  let points =
+    compute ?runs ~family ~strategies:Strategy.paper_eight ()
+  in
+  tables ~family points
+
+let figure4 ?runs () =
+  let family = Workload.Fft_ptgs in
+  (* Section 7 tunes µ to 0.3 for WPS-width on FFT graphs. *)
+  let strategies =
+    List.map
+      (fun s ->
+        match s with
+        | Strategy.Weighted (Strategy.Width, _) ->
+          Strategy.Weighted (Strategy.Width, 0.3)
+        | s -> s)
+      Strategy.paper_eight
+  in
+  let points = compute ?runs ~family ~strategies () in
+  tables ~family points
+
+let figure5 ?runs () =
+  let family = Workload.Strassen_ptgs in
+  let points =
+    compute ?runs ~family ~strategies:Strategy.paper_six ()
+  in
+  tables ~family points

@@ -1,0 +1,64 @@
+module Pipeline = Mcs_sched.Pipeline
+module Schedule = Mcs_sched.Schedule
+module Strategy = Mcs_sched.Strategy
+module Metrics = Mcs_metrics.Metrics
+module Floatx = Mcs_util.Floatx
+
+type timing = Estimated | Simulated
+
+type run_metrics = {
+  strategy : Strategy.t;
+  makespans : float array;
+  slowdowns : float array;
+  unfairness : float;
+  global_makespan : float;
+  avg_makespan : float;
+}
+
+let simulated_makespans ?release platform schedules =
+  let sim = Mcs_sim.Replay.run ?release platform schedules in
+  sim.Mcs_sim.Replay.makespans
+
+let makespan_alone ?config ?(timing = Simulated) platform ptg =
+  let sched = Pipeline.schedule_alone ?config platform ptg in
+  match timing with
+  | Estimated -> sched.Schedule.makespan
+  | Simulated -> (simulated_makespans platform [ sched ]).(0)
+
+let evaluate ?config ?(timing = Simulated) ?release platform ptgs strategies =
+  if ptgs = [] then invalid_arg "Runner.evaluate: no applications";
+  let own =
+    Array.of_list
+      (List.map (fun ptg -> makespan_alone ?config ~timing platform ptg) ptgs)
+  in
+  let response completions =
+    match release with
+    | None -> completions
+    | Some r -> Array.mapi (fun i c -> c -. r.(i)) completions
+  in
+  List.map
+    (fun strategy ->
+      let schedules =
+        Pipeline.schedule_concurrent ?config ?release ~strategy platform ptgs
+      in
+      let makespans =
+        response
+          (match timing with
+          | Estimated ->
+            Array.of_list (List.map (fun s -> s.Schedule.makespan) schedules)
+          | Simulated -> simulated_makespans ?release platform schedules)
+      in
+      let slowdowns =
+        Array.mapi
+          (fun i m -> Metrics.slowdown ~own:own.(i) ~multi:m)
+          makespans
+      in
+      {
+        strategy;
+        makespans;
+        slowdowns;
+        unfairness = Metrics.unfairness slowdowns;
+        global_makespan = Floatx.maximum makespans;
+        avg_makespan = Floatx.mean makespans;
+      })
+    strategies

@@ -1,0 +1,41 @@
+(** Execution of one scenario (a platform plus a set of concurrent
+    applications) under several strategies, with the dedicated-platform
+    baselines computed once and shared.
+
+    Makespans are, as in the paper, taken from the discrete-event
+    simulation of the produced schedules; [timing = Estimated] falls
+    back to the mapper's estimates (used by the validation experiment
+    comparing both). *)
+
+type timing = Estimated | Simulated
+
+type run_metrics = {
+  strategy : Mcs_sched.Strategy.t;
+  makespans : float array;   (** per application, concurrent run *)
+  slowdowns : float array;   (** per application, M_own/M_multi *)
+  unfairness : float;
+  global_makespan : float;   (** completion of the whole run *)
+  avg_makespan : float;      (** mean of the per-application makespans *)
+}
+
+val makespan_alone :
+  ?config:Mcs_sched.Pipeline.config ->
+  ?timing:timing ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t ->
+  float
+(** Dedicated-platform makespan M_own of one application. *)
+
+val evaluate :
+  ?config:Mcs_sched.Pipeline.config ->
+  ?timing:timing ->
+  ?release:float array ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t list ->
+  Mcs_sched.Strategy.t list ->
+  run_metrics list
+(** Evaluate every strategy on the scenario (default timing:
+    [Simulated]). The M_own baselines are computed once. With
+    [release], applications are submitted at the given times and each
+    per-application makespan is its response time (completion −
+    submission). *)

@@ -1,0 +1,30 @@
+module Prng = Mcs_prng.Prng
+
+let runs_from_env () =
+  match Sys.getenv_opt "MCS_RUNS" with
+  | None -> 25
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | Some _ | None -> 25)
+
+let scenario_seed ~seed ~count ~platform_idx ~run =
+  (((seed * 1_000_003) + (count * 10_007) + (platform_idx * 101) + run)
+  * 2_654_435_761)
+  land max_int
+
+let scenarios ~family ~count ~runs ~seed =
+  let platforms = Array.of_list (Mcs_platform.Grid5000.all ()) in
+  List.concat_map
+    (fun run ->
+      List.init (Array.length platforms) (fun platform_idx ->
+          let rng =
+            Prng.create
+              ~seed:(scenario_seed ~seed ~count ~platform_idx ~run)
+          in
+          let ptgs = Workload.draw rng family ~count in
+          (platforms.(platform_idx), ptgs)))
+    (List.init runs (fun r -> r))
+
+let mean_over f runs =
+  Mcs_util.Floatx.mean (Array.of_list (List.map f runs))

@@ -1,0 +1,25 @@
+(** Scenario enumeration shared by every figure harness.
+
+    The paper's protocol: for each number of concurrent PTGs (2–10), 25
+    random application combinations are drawn and run on each of the
+    four Grid'5000 subsets — 100 runs per point; reported values are
+    averages over those runs. Scenarios are seeded deterministically
+    from (seed, count, platform, run), so every figure is reproducible
+    run-to-run and independent of evaluation order. *)
+
+val runs_from_env : unit -> int
+(** Number of combinations per (count, platform) point: the value of
+    the [MCS_RUNS] environment variable, or 25 (the paper's setting). *)
+
+val scenarios :
+  family:Workload.family ->
+  count:int ->
+  runs:int ->
+  seed:int ->
+  (Mcs_platform.Platform.t * Mcs_ptg.Ptg.t list) list
+(** All (platform, applications) scenarios for one point: [runs]
+    combinations × the four Grid'5000 subsets. *)
+
+val mean_over :
+  ('a -> float) -> 'a list -> float
+(** Average of a measurement over a list of runs. *)

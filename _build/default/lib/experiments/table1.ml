@@ -1,0 +1,30 @@
+module P = Mcs_platform.Platform
+module Table = Mcs_util.Table
+
+let table () =
+  let t =
+    Table.create ~title:"Table 1 — Grid'5000 multi-cluster subsets"
+      ~header:
+        [ "Site"; "Cluster"; "#proc"; "GFlop/s"; "switch";
+          "site #proc"; "site heterogeneity" ]
+  in
+  List.iter
+    (fun platform ->
+      let site = P.name platform in
+      let total = P.total_procs platform in
+      let het = Printf.sprintf "%.1f%%" (100. *. P.heterogeneity platform) in
+      Array.iteri
+        (fun k c ->
+          Table.add_row t
+            [
+              (if k = 0 then site else "");
+              c.P.cluster_name;
+              string_of_int c.P.procs;
+              Printf.sprintf "%.3f" c.P.gflops;
+              string_of_int c.P.switch;
+              (if k = 0 then string_of_int total else "");
+              (if k = 0 then het else "");
+            ])
+        (P.clusters platform))
+    (Mcs_platform.Grid5000.all ());
+  t

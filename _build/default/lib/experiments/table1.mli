@@ -1,0 +1,5 @@
+(** Table 1: the four Grid'5000 multi-cluster subsets, with the derived
+    site-level figures quoted in Section 2 (processor totals 99, 167,
+    229, 180 and heterogeneity 20.2%, 6.1%, 36.8%, 34.7%). *)
+
+val table : unit -> Mcs_util.Table.t

@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: Array Float Mcs_util

@@ -1,0 +1,24 @@
+module Floatx = Mcs_util.Floatx
+
+let slowdown ~own ~multi =
+  if own <= 0. || multi <= 0. then
+    invalid_arg "Metrics.slowdown: non-positive makespan";
+  own /. multi
+
+let average_slowdown slowdowns =
+  if Array.length slowdowns = 0 then
+    invalid_arg "Metrics.average_slowdown: no applications";
+  Floatx.mean slowdowns
+
+let unfairness slowdowns =
+  let avg = average_slowdown slowdowns in
+  Floatx.sum (Array.map (fun s -> Float.abs (s -. avg)) slowdowns)
+
+let unfairness_of_makespans ~own ~multi =
+  if Array.length own <> Array.length multi then
+    invalid_arg "Metrics.unfairness_of_makespans: length mismatch";
+  unfairness (Array.map2 (fun o m -> slowdown ~own:o ~multi:m) own multi)
+
+let relative_makespan m ~best =
+  if best <= 0. then invalid_arg "Metrics.relative_makespan: best <= 0";
+  m /. best

@@ -1,0 +1,29 @@
+(** Evaluation metrics (Section 7).
+
+    Fairness is assessed through the slowdown each application suffers
+    from resource sharing. Following the paper (Eq. 3), the slowdown of
+    application [a] is [M_own(a) / M_multi(a)] — the dedicated-platform
+    makespan over the concurrent one — so values lie in (0, 1] with 1
+    meaning "not perturbed at all". A schedule is fair when every
+    application experiences a similar slowdown; unfairness (Eq. 5) is
+    the L1 dispersion of slowdowns around their mean. *)
+
+val slowdown : own:float -> multi:float -> float
+(** [M_own / M_multi]. @raise Invalid_argument on non-positive
+    makespans. *)
+
+val average_slowdown : float array -> float
+(** Eq. 4. @raise Invalid_argument on the empty array. *)
+
+val unfairness : float array -> float
+(** Eq. 5: [Σ_a |slowdown a − average|].
+    @raise Invalid_argument on the empty array. *)
+
+val unfairness_of_makespans : own:float array -> multi:float array -> float
+(** Convenience composition of the above.
+    @raise Invalid_argument on mismatched lengths. *)
+
+val relative_makespan : float -> best:float -> float
+(** Makespan divided by the best makespan achieved on the same
+    experiment (≥ 1 when [best] is the minimum).
+    @raise Invalid_argument if [best <= 0]. *)

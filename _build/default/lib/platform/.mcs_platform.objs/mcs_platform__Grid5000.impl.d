@@ -1,0 +1,1 @@
+lib/platform/grid5000.ml: Platform String

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Array Buffer Float Format List Printf

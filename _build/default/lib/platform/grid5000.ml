@@ -1,0 +1,29 @@
+let c name procs gflops switch =
+  { Platform.cluster_name = name; procs; gflops; switch }
+
+let lille () =
+  Platform.make ~name:"Lille"
+    [ c "Chuque" 53 3.647 0; c "Chti" 20 4.311 0; c "Chicon" 26 4.384 0 ]
+
+let nancy () =
+  Platform.make ~name:"Nancy"
+    [ c "Grillon" 47 3.379 0; c "Grelon" 120 3.185 1 ]
+
+let rennes () =
+  Platform.make ~name:"Rennes"
+    [ c "Parasol" 64 3.573 0; c "Paravent" 99 3.364 0; c "Paraquad" 66 4.603 0 ]
+
+let sophia () =
+  Platform.make ~name:"Sophia"
+    [ c "Azur" 74 3.258 0; c "Helios" 56 3.675 1; c "Sol" 50 4.389 2 ]
+
+let all () = [ lille (); nancy (); rennes (); sophia () ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  match s with
+  | "lille" -> Some (lille ())
+  | "nancy" -> Some (nancy ())
+  | "rennes" -> Some (rennes ())
+  | "sophia" -> Some (sophia ())
+  | _ -> None

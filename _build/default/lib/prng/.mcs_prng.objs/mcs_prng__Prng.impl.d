@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Array Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/ptg/analysis.ml: Array Format List Mcs_dag Mcs_taskmodel Mcs_util Ptg String

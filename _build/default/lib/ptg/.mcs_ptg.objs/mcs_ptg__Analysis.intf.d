@@ -1,0 +1,1 @@
+lib/ptg/analysis.mli: Format Ptg

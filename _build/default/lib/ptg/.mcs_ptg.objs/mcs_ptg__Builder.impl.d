@@ -1,0 +1,1 @@
+lib/ptg/builder.ml: Array Hashtbl List Mcs_dag Mcs_taskmodel Ptg

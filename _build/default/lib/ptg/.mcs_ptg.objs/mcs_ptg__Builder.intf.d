@@ -1,0 +1,1 @@
+lib/ptg/builder.mli: Mcs_taskmodel Ptg

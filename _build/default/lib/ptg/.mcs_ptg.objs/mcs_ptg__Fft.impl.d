@@ -1,0 +1,1 @@
+lib/ptg/fft.ml: Array Builder Mcs_prng Mcs_taskmodel Printf

@@ -1,0 +1,1 @@
+lib/ptg/fft.mli: Mcs_prng Ptg

@@ -1,0 +1,1 @@
+lib/ptg/ptg.ml: Array Format List Mcs_dag Mcs_taskmodel Mcs_util Printf

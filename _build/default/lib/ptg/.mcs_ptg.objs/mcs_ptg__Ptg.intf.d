@@ -1,0 +1,1 @@
+lib/ptg/ptg.mli: Format Mcs_dag Mcs_taskmodel

@@ -1,0 +1,1 @@
+lib/ptg/random_gen.ml: Array Builder Float List Mcs_prng Mcs_taskmodel Printf

@@ -1,0 +1,1 @@
+lib/ptg/random_gen.mli: Mcs_prng Mcs_taskmodel Ptg

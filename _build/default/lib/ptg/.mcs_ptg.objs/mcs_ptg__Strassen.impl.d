@@ -1,0 +1,1 @@
+lib/ptg/strassen.ml: Array Builder Mcs_prng Mcs_taskmodel

@@ -1,0 +1,1 @@
+lib/ptg/strassen.mli: Mcs_prng Ptg

@@ -1,0 +1,69 @@
+module Dag = Mcs_dag.Dag
+module Task = Mcs_taskmodel.Task
+
+type t = {
+  tasks : int;
+  depth : int;
+  max_width : int;
+  total_work : float;
+  critical_path_flops : float;
+  total_bytes : float;
+  comm_to_comp : float;
+  avg_parallelism : float;
+  level_widths : int array;
+  edge_count : int;
+}
+
+let analyse ptg =
+  let dag = ptg.Ptg.dag in
+  let total_work = Ptg.work ptg in
+  (* Critical path measured in flops: equivalent to seconds at any fixed
+     speed, so reuse the 1 GFlop/s sequential critical path. *)
+  let critical_path_flops = Ptg.critical_path_seq ptg ~gflops:1. *. 1e9 in
+  let total_bytes = Mcs_util.Floatx.sum ptg.Ptg.edge_bytes in
+  let levels = Dag.depth_levels dag in
+  let depth = Dag.depth dag in
+  let level_widths = Array.make (max 1 depth) 0 in
+  for v = 0 to Dag.node_count dag - 1 do
+    if not (Ptg.is_virtual ptg v) then
+      level_widths.(levels.(v)) <- level_widths.(levels.(v)) + 1
+  done;
+  let edge_count = ref 0 in
+  for e = 0 to Dag.edge_count dag - 1 do
+    let s, d = Dag.edge dag e in
+    if not (Ptg.is_virtual ptg s || Ptg.is_virtual ptg d) then
+      incr edge_count
+  done;
+  {
+    tasks = Ptg.task_count ptg;
+    depth;
+    max_width = Ptg.max_width ptg;
+    total_work;
+    critical_path_flops;
+    total_bytes;
+    comm_to_comp = (if total_work <= 0. then 0. else total_bytes /. total_work);
+    avg_parallelism =
+      (if critical_path_flops <= 0. then 1.
+       else total_work /. critical_path_flops);
+    level_widths;
+    edge_count = !edge_count;
+  }
+
+(* Levels holding only virtual entry/exit nodes show as zero-width; trim
+   them from the display (they stay in [level_widths]). *)
+let trim_virtual_levels widths =
+  let l = Array.to_list widths in
+  let rec drop = function 0 :: rest -> drop rest | l -> l in
+  List.rev (drop (List.rev (drop l)))
+
+let pp ppf a =
+  Format.fprintf ppf
+    "@[<v>tasks: %d (depth %d, max width %d, %d data edges)@,\
+     work: %.3g Gflop (critical path %.3g Gflop, avg parallelism %.2f)@,\
+     data: %.3g MB (comm/comp %.3g B/flop)@,\
+     level widths: %s@]"
+    a.tasks a.depth a.max_width a.edge_count (a.total_work /. 1e9)
+    (a.critical_path_flops /. 1e9)
+    a.avg_parallelism (a.total_bytes /. 1e6) a.comm_to_comp
+    (String.concat "-"
+       (List.map string_of_int (trim_virtual_levels a.level_widths)))

@@ -1,0 +1,25 @@
+(** Structural and cost analysis of a PTG — the quantities the paper's
+    strategies and discussion revolve around, gathered in one report
+    (used by the CLI's [--summary] mode, the examples, and tests). *)
+
+type t = {
+  tasks : int;              (** real tasks *)
+  depth : int;              (** precedence levels (virtual included) *)
+  max_width : int;          (** the width-strategy γ *)
+  total_work : float;       (** flops — the work-strategy γ *)
+  critical_path_flops : float;
+      (** flops along the 1-processor critical path *)
+  total_bytes : float;      (** Σ edge volumes *)
+  comm_to_comp : float;
+      (** bytes/flops — how communication-bound the application is *)
+  avg_parallelism : float;
+      (** total work over critical-path work: the average number of
+          processors the PTG could keep busy *)
+  level_widths : int array; (** real tasks per precedence level *)
+  edge_count : int;         (** real data edges (virtual excluded) *)
+}
+
+val analyse : Ptg.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,59 @@
+module Dag = Mcs_dag.Dag
+module Task = Mcs_taskmodel.Task
+
+let build ~id ~name ~tasks ~edges =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Builder.build: a PTG needs at least one task";
+  (* Merge duplicate (src, dst) pairs, keeping the largest volume, and
+     sort so byte volumes line up with [Dag.of_edges] edge ids (which are
+     assigned in sorted (src, dst) order). *)
+  let table = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (s, d, b) ->
+      match Hashtbl.find_opt table (s, d) with
+      | Some b' when b' >= b -> ()
+      | _ -> Hashtbl.replace table (s, d) b)
+    edges;
+  let merged =
+    Hashtbl.fold (fun (s, d) b acc -> (s, d, b) :: acc) table []
+    |> List.sort compare
+  in
+  (* Detect sources and sinks among real nodes. *)
+  let has_pred = Array.make n false and has_succ = Array.make n false in
+  List.iter
+    (fun (s, d, _) ->
+      if s >= 0 && s < n then has_succ.(s) <- true;
+      if d >= 0 && d < n then has_pred.(d) <- true)
+    merged;
+  let sources = ref [] and sinks = ref [] in
+  for v = n - 1 downto 0 do
+    if not has_pred.(v) then sources := v :: !sources;
+    if not has_succ.(v) then sinks := v :: !sinks
+  done;
+  let need_entry = match !sources with [ _ ] -> false | _ -> true in
+  let need_exit = match !sinks with [ _ ] -> false | _ -> true in
+  let entry_id = n in
+  let exit_id = if need_entry then n + 1 else n in
+  let total =
+    n + (if need_entry then 1 else 0) + if need_exit then 1 else 0
+  in
+  let all_tasks = Array.make (max total 1) Task.zero in
+  Array.blit tasks 0 all_tasks 0 n;
+  let virtual_edges =
+    (if need_entry then List.map (fun v -> (entry_id, v, 0.)) !sources else [])
+    @ if need_exit then List.map (fun v -> (v, exit_id, 0.)) !sinks else []
+  in
+  let final_edges = List.sort compare (merged @ virtual_edges) in
+  let dag =
+    Dag.of_edges ~n:total (List.map (fun (s, d, _) -> (s, d)) final_edges)
+  in
+  let edge_bytes =
+    Array.make (Dag.edge_count dag) 0.
+  in
+  List.iter
+    (fun (s, d, b) ->
+      match Dag.edge_id dag ~src:s ~dst:d with
+      | Some e -> edge_bytes.(e) <- b
+      | None -> assert false)
+    final_edges;
+  Ptg.create ~id ~name ~dag ~tasks:all_tasks ~edge_bytes

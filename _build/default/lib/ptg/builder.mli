@@ -1,0 +1,19 @@
+(** Shared machinery for PTG generators.
+
+    Takes a raw task/edge description, adds zero-cost virtual entry/exit
+    tasks when the structure has several sources or sinks, and produces a
+    validated {!Ptg.t} whose edge-byte array is aligned with the DAG's
+    edge identifiers. *)
+
+val build :
+  id:int ->
+  name:string ->
+  tasks:Mcs_taskmodel.Task.t array ->
+  edges:(int * int * float) list ->
+  Ptg.t
+(** [build ~id ~name ~tasks ~edges] where each edge is
+    [(src, dst, bytes)]. Duplicate [(src, dst)] pairs are merged keeping
+    the largest volume. Virtual edges added towards/from the virtual
+    entry/exit carry no data.
+    @raise Invalid_argument on inconsistent input (see {!Ptg.create}).
+    @raise Mcs_dag.Dag.Cycle if the edges contain a cycle. *)

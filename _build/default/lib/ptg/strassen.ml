@@ -1,0 +1,72 @@
+module Prng = Mcs_prng.Prng
+module Task = Mcs_taskmodel.Task
+
+let task_count = 25
+
+(* Node numbering: S1..S10 = 0..9, P1..P7 = 10..16, then
+   U1 U2 C11 C12 C21 U3 U4 C22 = 17..24. *)
+let s i = i - 1
+let p i = 9 + i
+let u1 = 17
+let u2 = 18
+let c11 = 19
+let c12 = 20
+let c21 = 21
+let u3 = 22
+let u4 = 23
+let c22 = 24
+
+let generate ?(id = 0) ?data rng =
+  let d =
+    match data with
+    | Some d ->
+      if d <= 0. then invalid_arg "Strassen.generate: non-positive data";
+      d
+    | None -> Prng.uniform rng ~lo:Task.d_min ~hi:Task.d_max
+  in
+  let add_task () =
+    (* A block addition: d flops on d elements — stencil with a = 1. *)
+    Task.make ~data:d ~complexity:(Stencil 1.)
+      ~alpha:(Prng.uniform rng ~lo:0. ~hi:Task.alpha_max)
+  in
+  let mul_task () =
+    Task.make ~data:d ~complexity:Matmul
+      ~alpha:(Prng.uniform rng ~lo:0. ~hi:Task.alpha_max)
+  in
+  let tasks =
+    Array.init task_count (fun v ->
+        if v >= 10 && v <= 16 then mul_task () else add_task ())
+  in
+  let vol = 8. *. d in
+  let dep u v = (u, v, vol) in
+  let edges =
+    [
+      (* P1 = (A11+A22)(B11+B22) = S1·S2 *)
+      dep (s 1) (p 1); dep (s 2) (p 1);
+      (* P2 = (A21+A22)·B11 = S3·B11 *)
+      dep (s 3) (p 2);
+      (* P3 = A11·(B12−B22) = A11·S4 *)
+      dep (s 4) (p 3);
+      (* P4 = A22·(B21−B11) = A22·S5 *)
+      dep (s 5) (p 4);
+      (* P5 = (A11+A12)·B22 = S6·B22 *)
+      dep (s 6) (p 5);
+      (* P6 = (A21−A11)(B11+B12) = S7·S8 *)
+      dep (s 7) (p 6); dep (s 8) (p 6);
+      (* P7 = (A12−A22)(B21+B22) = S9·S10 *)
+      dep (s 9) (p 7); dep (s 10) (p 7);
+      (* C11 = P1 + P4 − P5 + P7 *)
+      dep (p 1) u1; dep (p 4) u1;
+      dep u1 u2; dep (p 5) u2;
+      dep u2 c11; dep (p 7) c11;
+      (* C12 = P3 + P5 *)
+      dep (p 3) c12; dep (p 5) c12;
+      (* C21 = P2 + P4 *)
+      dep (p 2) c21; dep (p 4) c21;
+      (* C22 = P1 − P2 + P3 + P6 *)
+      dep (p 1) u3; dep (p 2) u3;
+      dep u3 u4; dep (p 3) u4;
+      dep u4 c22; dep (p 6) c22;
+    ]
+  in
+  Builder.build ~id ~name:"strassen" ~tasks ~edges

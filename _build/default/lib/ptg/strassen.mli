@@ -1,0 +1,20 @@
+(** Strassen matrix-multiplication PTG (one recursion level, 25 tasks).
+
+    C = A·B on √d×√d blocks via Strassen's seven products:
+    - 10 block additions/subtractions S1..S10 ([d] flops each),
+    - 7 block multiplications P1..P7 ([d^1.5] flops each),
+    - 8 combination additions (U1, U2, C11, C12, C21, U3, U4, C22).
+
+    All Strassen PTGs share this fixed shape — same task count and same
+    maximal width — so, as noted in Section 7, the width-based strategies
+    degenerate to ES on them; instances only differ in block size [d]
+    and per-task Amdahl fractions. *)
+
+val task_count : int
+(** 25 (excluding the virtual entry/exit). *)
+
+val generate :
+  ?id:int -> ?data:float -> Mcs_prng.Prng.t -> Ptg.t
+(** [generate rng] draws the block size uniformly in
+    [[Task.d_min, Task.d_max]] unless [data] is given, and draws a fresh
+    Amdahl fraction per task. *)

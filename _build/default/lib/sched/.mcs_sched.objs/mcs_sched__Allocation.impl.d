@@ -1,0 +1,1 @@
+lib/sched/allocation.ml: Array Float Mcs_dag Mcs_ptg Mcs_taskmodel Mcs_util Printf Reference_cluster

@@ -1,0 +1,1 @@
+lib/sched/allocation.mli: Mcs_platform Mcs_ptg Reference_cluster

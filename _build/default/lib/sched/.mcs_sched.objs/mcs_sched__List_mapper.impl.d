@@ -1,0 +1,1 @@
+lib/sched/list_mapper.ml: Array Float Lazy List Mcs_dag Mcs_platform Mcs_ptg Mcs_taskmodel Mcs_util Reference_cluster Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_mapper.mli: Mcs_platform Mcs_ptg Reference_cluster Schedule

@@ -1,0 +1,1 @@
+lib/sched/mheft.ml: Array Float Mcs_dag Mcs_platform Mcs_ptg Mcs_taskmodel Mcs_util Schedule

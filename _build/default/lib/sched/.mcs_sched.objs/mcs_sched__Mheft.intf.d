@@ -1,0 +1,1 @@
+lib/sched/mheft.mli: Mcs_platform Mcs_ptg Schedule

@@ -1,0 +1,1 @@
+lib/sched/pipeline.ml: Allocation Array List List_mapper Reference_cluster Strategy

@@ -1,0 +1,1 @@
+lib/sched/pipeline.mli: Allocation List_mapper Mcs_platform Mcs_ptg Schedule Strategy

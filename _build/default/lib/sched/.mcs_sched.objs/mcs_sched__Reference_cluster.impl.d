@@ -1,0 +1,1 @@
+lib/sched/reference_cluster.ml: Float Mcs_platform Mcs_taskmodel

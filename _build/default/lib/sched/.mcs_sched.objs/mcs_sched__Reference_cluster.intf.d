@@ -1,0 +1,1 @@
+lib/sched/reference_cluster.mli: Mcs_platform Mcs_taskmodel

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Buffer Char Float Hashtbl List Mcs_dag Mcs_platform Mcs_ptg Mcs_util Option Printf String

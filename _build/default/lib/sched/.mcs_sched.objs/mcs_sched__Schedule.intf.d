@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Mcs_platform Mcs_ptg Result

@@ -1,0 +1,1 @@
+lib/sched/strategy.ml: Array Float List Mcs_ptg Mcs_util Printf

@@ -1,0 +1,1 @@
+lib/sched/strategy.mli: Mcs_ptg

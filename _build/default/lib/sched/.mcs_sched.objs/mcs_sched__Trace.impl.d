@@ -1,0 +1,1 @@
+lib/sched/trace.ml: Array Buffer Char List Mcs_ptg Printf Schedule String

@@ -1,0 +1,130 @@
+module Dag = Mcs_dag.Dag
+module Ptg = Mcs_ptg.Ptg
+module Task = Mcs_taskmodel.Task
+
+type procedure = Scrap | Scrap_max
+
+type result = {
+  procs : int array;
+  iterations : int;
+  critical_path : float;
+  average_area : float;
+}
+
+let level_usage ptg procs =
+  let dag = ptg.Ptg.dag in
+  let levels = Dag.depth_levels dag in
+  let usage = Array.make (max 1 (Dag.depth dag)) 0 in
+  for v = 0 to Dag.node_count dag - 1 do
+    if not (Ptg.is_virtual ptg v) then
+      usage.(levels.(v)) <- usage.(levels.(v)) + procs.(v)
+  done;
+  usage
+
+let level_population ptg =
+  let dag = ptg.Ptg.dag in
+  let levels = Dag.depth_levels dag in
+  let pop = Array.make (max 1 (Dag.depth dag)) 0 in
+  for v = 0 to Dag.node_count dag - 1 do
+    if not (Ptg.is_virtual ptg v) then
+      pop.(levels.(v)) <- pop.(levels.(v)) + 1
+  done;
+  pop
+
+let budget_of ref_cluster ~beta =
+  max 1
+    (int_of_float
+       (Float.floor (beta *. float_of_int ref_cluster.Reference_cluster.procs)))
+
+let respects_level_constraint ref_cluster ~beta ptg procs =
+  let budget = budget_of ref_cluster ~beta in
+  let usage = level_usage ptg procs in
+  let pop = level_population ptg in
+  let ok = ref true in
+  Array.iteri
+    (fun l u -> if u > max budget pop.(l) then ok := false)
+    usage;
+  !ok
+
+let allocate ?(procedure = Scrap_max) ref_cluster platform ~beta ptg =
+  if beta <= 0. || beta > 1. then
+    invalid_arg (Printf.sprintf "Allocation.allocate: beta = %g" beta);
+  let dag = ptg.Ptg.dag in
+  let n = Dag.node_count dag in
+  let levels = Dag.depth_levels dag in
+  let cap = Reference_cluster.max_allocation ref_cluster platform in
+  let budget = budget_of ref_cluster ~beta in
+  let procs = Array.make n 1 in
+  let usage = level_usage ptg procs in
+  let exec = Array.make n 0. in
+  let refresh_exec v =
+    exec.(v) <-
+      Reference_cluster.exec_time ref_cluster ptg.Ptg.tasks.(v)
+        ~procs:procs.(v)
+  in
+  for v = 0 to n - 1 do
+    refresh_exec v
+  done;
+  let beta_power = beta *. float_of_int ref_cluster.Reference_cluster.procs in
+  let average_area () =
+    let area = ref 0. in
+    for v = 0 to n - 1 do
+      area := !area +. (exec.(v) *. float_of_int procs.(v))
+    done;
+    !area /. beta_power
+  in
+  (* Bottom and top levels under current exec times (computation only,
+     as in CPA: communications are handled at mapping time). *)
+  let node_weight v = exec.(v) in
+  let edge_weight _ = 0. in
+  let iterations = ref 0 in
+  let max_iterations = (cap * n) + 1 in
+  let continue = ref true in
+  let cp = ref 0. in
+  while !continue && !iterations < max_iterations do
+    let bl = Dag.bottom_levels dag ~node_weight ~edge_weight in
+    let tl = Dag.top_levels dag ~node_weight ~edge_weight in
+    cp := bl.(Ptg.entry ptg);
+    let ta = average_area () in
+    if !cp <= ta +. Mcs_util.Floatx.eps then continue := false
+    else begin
+      (* Candidates: critical tasks that can still grow. *)
+      let tolerance = 1e-9 *. Float.max 1. !cp in
+      let best = ref None in
+      for v = 0 to n - 1 do
+        if
+          (not (Ptg.is_virtual ptg v))
+          && Float.abs (tl.(v) +. bl.(v) -. !cp) <= tolerance
+          && procs.(v) < cap
+          &&
+          match procedure with
+          | Scrap -> true
+          | Scrap_max -> usage.(levels.(v)) + 1 <= budget
+        then begin
+          let faster =
+            Reference_cluster.exec_time ref_cluster ptg.Ptg.tasks.(v)
+              ~procs:(procs.(v) + 1)
+          in
+          let gain = exec.(v) -. faster in
+          if gain > 0. then
+            match !best with
+            | Some (_, best_gain) when best_gain >= gain -> ()
+            | _ -> best := Some (v, gain)
+        end
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (v, _gain) ->
+        procs.(v) <- procs.(v) + 1;
+        usage.(levels.(v)) <- usage.(levels.(v)) + 1;
+        refresh_exec v;
+        incr iterations
+    end
+  done;
+  let bl = Dag.bottom_levels dag ~node_weight ~edge_weight in
+  {
+    procs;
+    iterations = !iterations;
+    critical_path = bl.(Ptg.entry ptg);
+    average_area = average_area ();
+  }

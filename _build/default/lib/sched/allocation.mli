@@ -1,0 +1,53 @@
+(** Constrained resource allocation — the SCRAP and SCRAP-MAX procedures
+    of Section 4 (originally from the authors' PDCS'07 paper), built on
+    the CPA/HCPA allocation loop.
+
+    Both procedures start from one reference processor per task and
+    repeatedly give one more processor to the critical-path task that
+    benefits the most, until the critical path no longer dominates the
+    constrained average area (the CPA convergence criterion, with the
+    area computed against the β share of the reference cluster) or the
+    resource constraint blocks every candidate:
+
+    - {b SCRAP} enforces the constraint globally: the schedule's average
+      power usage [Σ(t_v·p_v)/T_CP] must stay within [β·procs] — which
+      is exactly the CPA stop criterion against the constrained area, so
+      the loop simply stops at the boundary.
+    - {b SCRAP-MAX} enforces it per precedence level: for every level,
+      [Σ_{v at level} p_v ≤ max(1 task each, ⌊β·procs⌋)], so that
+      concurrently-ready tasks of one level can always run side by
+      side within the PTG's power share. *)
+
+type procedure = Scrap | Scrap_max
+
+type result = {
+  procs : int array;        (** reference processors per DAG node *)
+  iterations : int;         (** number of +1 increments performed *)
+  critical_path : float;    (** final critical path length, seconds *)
+  average_area : float;     (** final T_A against the β share *)
+}
+
+val allocate :
+  ?procedure:procedure ->
+  Reference_cluster.t ->
+  Mcs_platform.Platform.t ->
+  beta:float ->
+  Mcs_ptg.Ptg.t ->
+  result
+(** [allocate ref platform ~beta ptg] computes the allocation (default
+    procedure: [Scrap_max]). Virtual entry/exit nodes keep one processor
+    and zero cost. Allocations are capped by
+    {!Reference_cluster.max_allocation} so every task fits in at least
+    one real cluster.
+    @raise Invalid_argument unless [0 < beta <= 1]. *)
+
+val level_usage : Mcs_ptg.Ptg.t -> int array -> int array
+(** Total reference processors allocated per precedence level (virtual
+    nodes excluded) — used to audit constraint satisfaction. *)
+
+val respects_level_constraint :
+  Reference_cluster.t -> beta:float -> Mcs_ptg.Ptg.t -> int array -> bool
+(** Whether every precedence level satisfies
+    [Σ p_v ≤ max(level population, ⌊β·procs⌋)] — the population floor
+    accounts for levels whose 1-processor-per-task minimum already
+    exceeds the share. *)

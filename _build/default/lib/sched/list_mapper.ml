@@ -1,0 +1,473 @@
+module Dag = Mcs_dag.Dag
+module Ptg = Mcs_ptg.Ptg
+module P = Mcs_platform.Platform
+module Task = Mcs_taskmodel.Task
+module Redistribution = Mcs_taskmodel.Redistribution
+module Floatx = Mcs_util.Floatx
+
+type ordering = Ready_tasks | Global_fcfs | Global_backfill
+
+type options = {
+  ordering : ordering;
+  packing : bool;
+}
+
+let default_options = { ordering = Ready_tasks; packing = true }
+
+(* Priority-queue entries: higher bottom level first; ties broken by
+   application index then topological rank so that the order is total,
+   deterministic, and precedence-compatible. *)
+type entry = {
+  priority : float;
+  app : int;
+  topo_rank : int;
+  node : int;
+}
+
+let entry_cmp a b =
+  if a.priority > b.priority then -1
+  else if a.priority < b.priority then 1
+  else begin
+    let c = compare a.app b.app in
+    if c <> 0 then c else compare a.topo_rank b.topo_rank
+  end
+
+type app_state = {
+  ptg : Ptg.t;
+  alloc : int array;                    (* reference processors per node *)
+  bl : float array;                     (* bottom levels (priorities) *)
+  topo_rank : int array;
+  placements : Schedule.placement option array;
+  pending : int array;                  (* unmapped predecessor count *)
+}
+
+(* One placement candidate on a given cluster. *)
+type candidate = {
+  procs : int array;
+  cluster : int;
+  start : float;
+  finish : float;
+}
+
+let better_candidate a b =
+  (* Earliest finish, then earliest start, then widest allocation. *)
+  match (a, b) with
+  | None, c | c, None -> c
+  | Some ca, Some cb ->
+    if cb.finish < ca.finish -. Floatx.eps then Some cb
+    else if ca.finish < cb.finish -. Floatx.eps then Some ca
+    else if cb.start < ca.start -. Floatx.eps then Some cb
+    else if ca.start < cb.start -. Floatx.eps then Some ca
+    else if Array.length cb.procs > Array.length ca.procs then Some cb
+    else Some ca
+
+let make_state (ptg, alloc) =
+  let dag = ptg.Ptg.dag in
+  let n = Dag.node_count dag in
+  if Array.length alloc <> n then
+    invalid_arg "List_mapper.run: allocation length differs from node count";
+  Array.iter
+    (fun a -> if a < 1 then invalid_arg "List_mapper.run: allocation < 1")
+    alloc;
+  let topo = Dag.topological_order dag in
+  let topo_rank = Array.make n 0 in
+  Array.iteri (fun rank v -> topo_rank.(v) <- rank) topo;
+  let pending = Array.init n (fun v -> Dag.in_degree dag v) in
+  {
+    ptg;
+    alloc;
+    bl = [||]; (* filled by caller once the reference cluster is known *)
+    topo_rank;
+    placements = Array.make n None;
+    pending;
+  }
+
+let bottom_levels ref_cluster ptg alloc =
+  Dag.bottom_levels ptg.Ptg.dag
+    ~node_weight:(fun v ->
+      Reference_cluster.exec_time ref_cluster ptg.Ptg.tasks.(v)
+        ~procs:alloc.(v))
+    ~edge_weight:(fun _ -> 0.)
+
+(* Map one task and return its placement. [floor] bounds the start of
+   real tasks (submission time, plus the FCFS no-backfilling bound in
+   Global_fcfs mode); [virtual_floor] bounds virtual entry/exit nodes
+   (submission time only — the queue does not apply to them). *)
+let place_task platform ref_cluster proc_avail state v ~packing ~floor
+    ~virtual_floor =
+  let ptg = state.ptg in
+  let dag = ptg.Ptg.dag in
+  let preds =
+    Array.map
+      (fun (u, e) ->
+        let pu =
+          match state.placements.(u) with
+          | Some p -> p
+          | None -> assert false (* guaranteed by readiness *)
+        in
+        (pu, ptg.Ptg.edge_bytes.(e)))
+      (Dag.preds dag v)
+  in
+  if Ptg.is_virtual ptg v then begin
+    (* Virtual entry/exit: no processors, no duration; starts as soon as
+       all predecessors are done. *)
+    let start =
+      Array.fold_left (fun acc (pu, _) -> Float.max acc pu.Schedule.finish)
+        virtual_floor preds
+    in
+    { Schedule.node = v; cluster = 0; procs = [||]; start; finish = start }
+  end
+  else begin
+    let task = ptg.Ptg.tasks.(v) in
+    let best = ref None in
+    for k = 0 to P.cluster_count platform - 1 do
+      let c = P.cluster platform k in
+      let needed =
+        Reference_cluster.translate ref_cluster platform ~cluster:k
+          state.alloc.(v)
+      in
+      (* Processors of cluster k ordered by availability. *)
+      let base = P.first_proc platform k in
+      let order = Array.init c.P.procs (fun i -> base + i) in
+      Array.sort
+        (fun p q ->
+          let cmpa = Float.compare proc_avail.(p) proc_avail.(q) in
+          if cmpa <> 0 then cmpa else compare p q)
+        order;
+      let candidate_for p' =
+        (* Redistribution cost per predecessor towards p' processors of
+           cluster k (the stream count depends on both allocations). *)
+        let cost_of (pu, bytes) =
+          Redistribution.transfer_time platform
+            ~src_cluster:pu.Schedule.cluster ~dst_cluster:k
+            ~src_procs:(max 1 (Array.length pu.Schedule.procs))
+            ~dst_procs:p' ~bytes
+        in
+        (* All incoming transfers funnel through the p' destination
+           NICs; when several predecessors send data, their aggregate
+           bounds the data-ready time too. [exempt] optionally marks one
+           predecessor as in-place (no transfer). *)
+        let aggregate_bound ?exempt () =
+          let total = ref 0. and last_finish = ref 0. and senders = ref 0 in
+          Array.iter
+            (fun (pu, bytes) ->
+              let in_place =
+                match exempt with
+                | Some procs ->
+                  pu.Schedule.cluster = k
+                  && Redistribution.same_procs pu.Schedule.procs procs
+                | None -> false
+              in
+              if bytes > 0. && not in_place then begin
+                total := !total +. bytes;
+                last_finish := Float.max !last_finish pu.Schedule.finish;
+                incr senders
+              end)
+            preds;
+          if !senders <= 1 then 0.
+          else begin
+            let dst_rate =
+              float_of_int p' *. P.nic_bandwidth platform
+            in
+            !last_finish +. P.latency platform +. (!total /. dst_rate)
+          end
+        in
+        (* Earliest possible start with p' processors, pessimistically
+           assuming every incoming transfer is paid. *)
+        let data_ready0 =
+          Float.max
+            (aggregate_bound ())
+            (Array.fold_left
+               (fun acc (pu, bytes) ->
+                 Float.max acc (pu.Schedule.finish +. cost_of (pu, bytes)))
+               0. preds)
+        in
+        let start0 =
+          Float.max floor
+            (Float.max data_ready0 proc_avail.(order.(p' - 1)))
+        in
+        (* Best fit: among the processors available by start0, take the
+           latest-available ones, leaving the most idle processors free
+           for tasks that are ready now (this is what lets a small PTG
+           slip in beside a large one, Figure 1). *)
+        let fits_until = ref p' in
+        while
+          !fits_until < Array.length order
+          && proc_avail.(order.(!fits_until)) <= start0 +. Floatx.eps
+        do
+          incr fits_until
+        done;
+        let procs = Array.sub order (!fits_until - p') p' in
+        (* The in-place rule may cancel transfers from predecessors that
+           ran on exactly the chosen processors. *)
+        let data_ready =
+          Float.max
+            (aggregate_bound ~exempt:procs ())
+            (Array.fold_left
+               (fun acc (pu, bytes) ->
+                 let cost =
+                   if
+                     bytes > 0. && pu.Schedule.cluster = k
+                     && Redistribution.same_procs pu.Schedule.procs procs
+                   then 0.
+                   else cost_of (pu, bytes)
+                 in
+                 Float.max acc (pu.Schedule.finish +. cost))
+               0. preds)
+        in
+        let avail =
+          Array.fold_left
+            (fun acc p -> Float.max acc proc_avail.(p))
+            0. procs
+        in
+        let start = Float.max floor (Float.max data_ready avail) in
+        let finish =
+          start +. Task.time task ~gflops:c.P.gflops ~procs:p'
+        in
+        { procs; cluster = k; start; finish }
+      in
+      let full = candidate_for needed in
+      best := better_candidate !best (Some full);
+      if packing && needed > 1 then begin
+        (* The allocation may shrink only if the task then starts
+           strictly earlier and finishes no later than with its original
+           allocation (Section 5). *)
+        for p' = needed - 1 downto 1 do
+          let cand = candidate_for p' in
+          if
+            cand.start < full.start -. Floatx.eps
+            && cand.finish <= full.finish +. Floatx.eps
+          then best := better_candidate !best (Some cand)
+        done
+      end
+    done;
+    match !best with
+    | None -> assert false (* there is at least one cluster *)
+    | Some c ->
+      Array.iter (fun p -> proc_avail.(p) <- c.finish) c.procs;
+      {
+        Schedule.node = v;
+        cluster = c.cluster;
+        procs = c.procs;
+        start = c.start;
+        finish = c.finish;
+      }
+  end
+
+(* Conservative-backfilling placement: earliest hole in the reservation
+   timelines large enough for the translated allocation, searched over
+   every cluster. Existing reservations never move, so no earlier-queued
+   task can be delayed — the defining property of conservative
+   backfilling. *)
+let place_task_backfill platform ref_cluster timeline state v ~floor
+    ~virtual_floor =
+  let ptg = state.ptg in
+  let dag = ptg.Ptg.dag in
+  let preds =
+    Array.map
+      (fun (u, e) ->
+        let pu =
+          match state.placements.(u) with
+          | Some p -> p
+          | None -> assert false
+        in
+        (pu, ptg.Ptg.edge_bytes.(e)))
+      (Dag.preds dag v)
+  in
+  if Ptg.is_virtual ptg v then begin
+    let start =
+      Array.fold_left (fun acc (pu, _) -> Float.max acc pu.Schedule.finish)
+        virtual_floor preds
+    in
+    { Schedule.node = v; cluster = 0; procs = [||]; start; finish = start }
+  end
+  else begin
+    let task = ptg.Ptg.tasks.(v) in
+    let best = ref None in
+    for k = 0 to P.cluster_count platform - 1 do
+      let c = P.cluster platform k in
+      let needed =
+        Reference_cluster.translate ref_cluster platform ~cluster:k
+          state.alloc.(v)
+      in
+      let exec = Task.time task ~gflops:c.P.gflops ~procs:needed in
+      (* Pessimistic data-ready time: per-predecessor transfer cost plus
+         the aggregate bound through the destination NICs. *)
+      let per_pred =
+        Array.fold_left
+          (fun acc (pu, bytes) ->
+            let cost =
+              Redistribution.transfer_time platform
+                ~src_cluster:pu.Schedule.cluster ~dst_cluster:k
+                ~src_procs:(max 1 (Array.length pu.Schedule.procs))
+                ~dst_procs:needed ~bytes
+            in
+            Float.max acc (pu.Schedule.finish +. cost))
+          0. preds
+      in
+      let aggregate =
+        let total = ref 0. and last = ref 0. and senders = ref 0 in
+        Array.iter
+          (fun (pu, bytes) ->
+            if bytes > 0. then begin
+              total := !total +. bytes;
+              last := Float.max !last pu.Schedule.finish;
+              incr senders
+            end)
+          preds;
+        if !senders <= 1 then 0.
+        else
+          !last +. P.latency platform
+          +. (!total /. (float_of_int needed *. P.nic_bandwidth platform))
+      in
+      let after = Float.max floor (Float.max per_pred aggregate) in
+      let base = P.first_proc platform k in
+      let subset = Array.init c.P.procs (fun i -> base + i) in
+      match
+        Mcs_util.Timeline.find_slot ~procs_subset:subset timeline
+          ~count:needed ~duration:exec ~after
+      with
+      | None -> ()
+      | Some (start, procs) ->
+        let cand =
+          { procs; cluster = k; start; finish = start +. exec }
+        in
+        best := better_candidate !best (Some cand)
+    done;
+    match !best with
+    | None -> assert false (* allocations are capped to fit a cluster *)
+    | Some cand ->
+      Array.iter
+        (fun p ->
+          Mcs_util.Timeline.reserve timeline ~proc:p ~start:cand.start
+            ~finish:cand.finish)
+        cand.procs;
+      {
+        Schedule.node = v;
+        cluster = cand.cluster;
+        procs = cand.procs;
+        start = cand.start;
+        finish = cand.finish;
+      }
+  end
+
+let run ?(options = default_options) ?release platform ref_cluster apps =
+  if apps = [] then invalid_arg "List_mapper.run: no applications";
+  let release =
+    match release with
+    | None -> Array.make (List.length apps) 0.
+    | Some r ->
+      if Array.length r <> List.length apps then
+        invalid_arg "List_mapper.run: release length differs from apps";
+      Array.iter
+        (fun t ->
+          if t < 0. then invalid_arg "List_mapper.run: negative release")
+        r;
+      Array.copy r
+  in
+  let states =
+    Array.of_list
+      (List.map
+         (fun (ptg, alloc) ->
+           let s = make_state (ptg, alloc) in
+           { s with bl = bottom_levels ref_cluster ptg alloc })
+         apps)
+  in
+  let proc_avail = Array.make (P.total_procs platform) 0. in
+  let timeline =
+    lazy (Mcs_util.Timeline.create ~procs:(P.total_procs platform))
+  in
+  let floor = ref 0. in
+  let commit i v =
+    let state = states.(i) in
+    let pl =
+      match options.ordering with
+      | Global_backfill ->
+        place_task_backfill platform ref_cluster (Lazy.force timeline) state v
+          ~floor:release.(i) ~virtual_floor:release.(i)
+      | Ready_tasks | Global_fcfs ->
+        let fcfs_floor =
+          match options.ordering with
+          | Global_fcfs -> !floor
+          | Ready_tasks | Global_backfill -> 0.
+        in
+        place_task platform ref_cluster proc_avail state v
+          ~packing:options.packing
+          ~floor:(Float.max release.(i) fcfs_floor)
+          ~virtual_floor:release.(i)
+    in
+    state.placements.(v) <- Some pl;
+    (match options.ordering with
+    | Global_fcfs ->
+      (* No backfilling: later queue entries may not start earlier than
+         this task did. Virtual tasks are bookkeeping, not queue jobs. *)
+      if not (Ptg.is_virtual state.ptg v) then
+        floor := Float.max !floor pl.Schedule.start
+    | Ready_tasks | Global_backfill -> ());
+    pl
+  in
+  (match options.ordering with
+  | Ready_tasks ->
+    let heap = Mcs_util.Heap.create ~cmp:entry_cmp in
+    let push i v =
+      Mcs_util.Heap.push heap
+        {
+          priority = states.(i).bl.(v);
+          app = i;
+          topo_rank = states.(i).topo_rank.(v);
+          node = v;
+        }
+    in
+    Array.iteri
+      (fun i state ->
+        for v = 0 to Dag.node_count state.ptg.Ptg.dag - 1 do
+          if state.pending.(v) = 0 then push i v
+        done)
+      states;
+    let rec drain () =
+      match Mcs_util.Heap.pop heap with
+      | None -> ()
+      | Some { app = i; node = v; _ } ->
+        ignore (commit i v);
+        let state = states.(i) in
+        Array.iter
+          (fun (w, _e) ->
+            state.pending.(w) <- state.pending.(w) - 1;
+            if state.pending.(w) = 0 then push i w)
+          (Dag.succs state.ptg.Ptg.dag v);
+        drain ()
+    in
+    drain ()
+  | Global_fcfs | Global_backfill ->
+    (* Single static list over all applications, sorted by bottom level.
+       Within a PTG the bottom-level order is precedence-compatible
+       (ties resolved by topological rank). *)
+    let all = ref [] in
+    Array.iteri
+      (fun i state ->
+        for v = 0 to Dag.node_count state.ptg.Ptg.dag - 1 do
+          all :=
+            {
+              priority = state.bl.(v);
+              app = i;
+              topo_rank = state.topo_rank.(v);
+              node = v;
+            }
+            :: !all
+        done)
+      states;
+    let sorted = List.sort entry_cmp !all in
+    List.iter (fun { app = i; node = v; _ } -> ignore (commit i v)) sorted);
+  Array.to_list
+    (Array.map
+       (fun state ->
+         let placements =
+           Array.map
+             (fun pl ->
+               match pl with
+               | Some p -> p
+               | None -> assert false (* every node gets mapped *))
+             state.placements
+         in
+         Schedule.make ~ptg:state.ptg ~placements)
+       states)

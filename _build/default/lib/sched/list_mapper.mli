@@ -1,0 +1,54 @@
+(** Concurrent mapping of allocated PTGs (Section 5).
+
+    Tasks from all applications are mapped by a list scheduler whose
+    priority is the bottom level (distance to the application's exit in
+    reference execution times under the chosen allocations). Two
+    orderings are provided:
+
+    - [Ready_tasks] — the paper's proposal: only tasks whose
+      predecessors are all mapped compete, so the entry task of a small
+      PTG is considered immediately and cannot be postponed behind the
+      whole body of a larger application;
+    - [Global_fcfs] — the aggregated-ordering baseline ([15], Figure 1,
+      top right): all tasks are sorted once by bottom level and mapped
+      first-come-first-served with no backfilling, i.e., a task may not
+      start before any task earlier in the list;
+    - [Global_backfill] — the batch-scheduler remedy discussed in
+      Section 5 (conservative backfilling [7]): same global list, but a
+      task may slide into any idle hole since reservations, once made,
+      never move — at the price of per-processor reservation timelines
+      instead of simple availability times. Packing is not applied in
+      this mode (batch reservations are rigid).
+
+    A task is placed on the cluster and processor set giving the
+    earliest estimated finish time (processor availability, predecessor
+    finish times, and redistribution estimates). When [packing] is on
+    and a task is delayed by processor availability, its allocation is
+    reduced if and only if the reduction makes it start strictly earlier
+    and finish no later than with its original allocation. *)
+
+type ordering = Ready_tasks | Global_fcfs | Global_backfill
+
+type options = {
+  ordering : ordering;
+  packing : bool;
+}
+
+val default_options : options
+(** [Ready_tasks] with packing — the paper's mapping procedure. *)
+
+val run :
+  ?options:options ->
+  ?release:float array ->
+  Mcs_platform.Platform.t ->
+  Reference_cluster.t ->
+  (Mcs_ptg.Ptg.t * int array) list ->
+  Schedule.t list
+(** [run platform ref apps] maps the applications (each given with its
+    per-node reference allocation) and returns their schedules in input
+    order. [release] gives per-application submission times (the paper
+    submits everything at 0, its future-work section motivates staggered
+    arrivals): no task of application [i] may start before
+    [release.(i)].
+    @raise Invalid_argument on an empty list, an allocation array of
+    the wrong length, or a negative/ill-sized [release]. *)

@@ -1,0 +1,41 @@
+(** M-HEFT: Heterogeneous Earliest Finish Time for moldable data-parallel
+    tasks (Casanova, Desprez & Suter [1]; improvements from N'Takpé,
+    Suter & Casanova [11]). The one-step comparator to the paper's
+    two-step approach: allocation and placement are decided together,
+    task by task.
+
+    Tasks are considered by decreasing upward rank (bottom level under
+    single-processor reference execution times). For each task, every
+    cluster and every feasible processor count is examined and the
+    combination with the earliest finish time wins. The improvements of
+    [11] are exposed as options bounding the allocation search:
+
+    - [max_fraction] caps the share of one cluster a single task may
+      grab (pure M-HEFT lets a task monopolise the largest cluster,
+      which is disastrous in the presence of competitors);
+    - [min_efficiency] requires the Amdahl parallel efficiency
+      [speedup(p)/p] of the candidate allocation to stay above a
+      threshold, the cost-effectiveness fix;
+    - [max_procs] truncates the search absolutely — 1 recovers the
+      classical HEFT of Topcuoglu et al. [14] for sequential tasks. *)
+
+type options = {
+  max_fraction : float;    (** in (0, 1]; cap = ⌈fraction × cluster size⌉ *)
+  min_efficiency : float;  (** in [0, 1]; 0 disables the filter *)
+  max_procs : int option;  (** absolute cap; [Some 1] = HEFT *)
+}
+
+val default_options : options
+(** Pure M-HEFT: [max_fraction = 1.], [min_efficiency = 0.],
+    [max_procs = None]. *)
+
+val schedule :
+  ?options:options ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t ->
+  Schedule.t
+(** Schedule a single PTG on a dedicated platform.
+    @raise Invalid_argument on out-of-range options. *)
+
+val schedule_heft : Mcs_platform.Platform.t -> Mcs_ptg.Ptg.t -> Schedule.t
+(** Classical HEFT: every task on exactly one processor. *)

@@ -1,0 +1,45 @@
+type config = {
+  procedure : Allocation.procedure;
+  mapper : List_mapper.options;
+}
+
+let default_config =
+  { procedure = Allocation.Scrap_max; mapper = List_mapper.default_options }
+
+type prepared = {
+  betas : float array;
+  allocations : Allocation.result array;
+}
+
+let prepare ?(config = default_config) ~strategy platform ptgs =
+  let ref_cluster = Reference_cluster.of_platform platform in
+  let betas =
+    Strategy.betas strategy ~ref_speed:ref_cluster.Reference_cluster.speed ptgs
+  in
+  let allocations =
+    Array.of_list
+      (List.mapi
+         (fun i ptg ->
+           Allocation.allocate ~procedure:config.procedure ref_cluster
+             platform ~beta:betas.(i) ptg)
+         ptgs)
+  in
+  { betas; allocations }
+
+let schedule_concurrent ?(config = default_config) ?release ~strategy platform
+    ptgs =
+  let ref_cluster = Reference_cluster.of_platform platform in
+  let prepared = prepare ~config ~strategy platform ptgs in
+  let apps =
+    List.mapi
+      (fun i ptg -> (ptg, prepared.allocations.(i).Allocation.procs))
+      ptgs
+  in
+  List_mapper.run ~options:config.mapper ?release platform ref_cluster apps
+
+let schedule_alone ?(config = default_config) platform ptg =
+  match
+    schedule_concurrent ~config ~strategy:Strategy.Selfish platform [ ptg ]
+  with
+  | [ s ] -> s
+  | _ -> assert false

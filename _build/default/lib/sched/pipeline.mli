@@ -1,0 +1,42 @@
+(** End-to-end two-step scheduling: β determination → constrained
+    allocation → concurrent mapping. This is the entry point used by the
+    examples, the CLI and the experiment harness. *)
+
+type config = {
+  procedure : Allocation.procedure;  (** default [Scrap_max] *)
+  mapper : List_mapper.options;      (** default ready-list + packing *)
+}
+
+val default_config : config
+
+type prepared = {
+  betas : float array;                    (** β per application *)
+  allocations : Allocation.result array;  (** allocation per application *)
+}
+
+val prepare :
+  ?config:config ->
+  strategy:Strategy.t ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t list ->
+  prepared
+(** Run the allocation step only. *)
+
+val schedule_concurrent :
+  ?config:config ->
+  ?release:float array ->
+  strategy:Strategy.t ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t list ->
+  Schedule.t list
+(** Allocate each PTG under its strategy-determined β, then map all of
+    them concurrently. Schedules are returned in input order.
+    [release] gives per-application submission times (default all 0). *)
+
+val schedule_alone :
+  ?config:config ->
+  Mcs_platform.Platform.t ->
+  Mcs_ptg.Ptg.t ->
+  Schedule.t
+(** Dedicated-platform schedule (β = 1, no competitor) — the M_own
+    baseline of the slowdown metric. *)

@@ -1,0 +1,50 @@
+module P = Mcs_platform.Platform
+module Task = Mcs_taskmodel.Task
+
+type t = { speed : float; procs : int }
+
+let make ~speed ~procs =
+  if speed <= 0. then invalid_arg "Reference_cluster.make: non-positive speed";
+  if procs <= 0 then invalid_arg "Reference_cluster.make: non-positive size";
+  { speed; procs }
+
+let of_platform platform =
+  let speed = P.min_speed platform in
+  let procs = int_of_float (Float.floor (P.total_power platform /. speed)) in
+  make ~speed ~procs:(max 1 procs)
+
+let exec_time t task ~procs =
+  if Task.is_zero task then 0. else Task.time task ~gflops:t.speed ~procs
+
+let round_half_up x = int_of_float (Float.floor (x +. 0.5))
+
+let translate t platform ~cluster p =
+  if p < 1 then invalid_arg "Reference_cluster.translate: p < 1";
+  let c = P.cluster platform cluster in
+  let ideal = float_of_int p *. t.speed /. c.P.gflops in
+  let r = max 1 (round_half_up ideal) in
+  min r c.P.procs
+
+let fits t platform ~cluster p =
+  if p < 1 then invalid_arg "Reference_cluster.fits: p < 1";
+  let c = P.cluster platform cluster in
+  let ideal = float_of_int p *. t.speed /. c.P.gflops in
+  max 1 (round_half_up ideal) <= c.P.procs
+
+let max_allocation t platform =
+  (* Largest p such that round(p·s_ref/s_k) <= p_k for some k. The
+     translation is monotone in p, so compute the per-cluster bound
+     directly: p·s_ref/s_k < p_k + 0.5. *)
+  let best = ref 1 in
+  for k = 0 to P.cluster_count platform - 1 do
+    let c = P.cluster platform k in
+    let bound =
+      (float_of_int c.P.procs +. 0.5) *. c.P.gflops /. t.speed
+    in
+    let cap = int_of_float (Float.ceil bound) - 1 in
+    let cap = max 1 cap in
+    (* Guard against float rounding at the boundary. *)
+    let cap = if fits t platform ~cluster:k cap then cap else cap - 1 in
+    if cap > !best then best := cap
+  done;
+  min !best t.procs

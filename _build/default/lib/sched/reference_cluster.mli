@@ -1,0 +1,39 @@
+(** Homogeneous reference cluster (the HCPA device, Section 3).
+
+    Allocations are computed on a virtual homogeneous cluster whose
+    processors all run at the speed of the platform's slowest processor
+    and whose size expresses the platform's aggregate power:
+    [procs = ⌊Σ_k p_k·s_k / s_ref⌋]. A share β of the reference cluster
+    is therefore exactly a share β of the globally available processing
+    power, which is how the paper defines the resource constraint. At
+    mapping time a reference allocation is translated to each real
+    cluster so that the allocated power is preserved. *)
+
+type t = private {
+  speed : float;  (** reference processor speed, GFlop/s *)
+  procs : int;    (** number of reference processors *)
+}
+
+val of_platform : Mcs_platform.Platform.t -> t
+
+val make : speed:float -> procs:int -> t
+(** Direct constructor, mainly for tests.
+    @raise Invalid_argument on non-positive arguments. *)
+
+val exec_time : t -> Mcs_taskmodel.Task.t -> procs:int -> float
+(** Amdahl execution time of a task on [procs] reference processors;
+    0 for virtual (zero) tasks. *)
+
+val translate :
+  t -> Mcs_platform.Platform.t -> cluster:int -> int -> int
+(** [translate t platform ~cluster p] is the processor count on the real
+    cluster whose power is closest to [p] reference processors:
+    [round (p·s_ref/s_k)], clamped to [1, cluster size]. *)
+
+val fits : t -> Mcs_platform.Platform.t -> cluster:int -> int -> bool
+(** Whether [round (p·s_ref/s_k)] fits in the cluster without clamping. *)
+
+val max_allocation : t -> Mcs_platform.Platform.t -> int
+(** Largest reference allocation whose translation fits in at least one
+    cluster — the hard cap used during allocation (a data-parallel task
+    runs inside a single cluster). *)

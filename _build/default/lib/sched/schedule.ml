@@ -1,0 +1,244 @@
+module Dag = Mcs_dag.Dag
+module Ptg = Mcs_ptg.Ptg
+module P = Mcs_platform.Platform
+
+type placement = {
+  node : int;
+  cluster : int;
+  procs : int array;
+  start : float;
+  finish : float;
+}
+
+type t = {
+  ptg : Ptg.t;
+  placements : placement array;
+  makespan : float;
+}
+
+let make ~ptg ~placements =
+  let n = Dag.node_count ptg.Ptg.dag in
+  if Array.length placements <> n then
+    invalid_arg "Schedule.make: placement count differs from node count";
+  { ptg; placements; makespan = placements.(Ptg.exit ptg).finish }
+
+let placement t v = t.placements.(v)
+
+let busy_time t =
+  let acc = ref 0. in
+  Array.iter
+    (fun pl ->
+      acc :=
+        !acc +. ((pl.finish -. pl.start) *. float_of_int (Array.length pl.procs)))
+    t.placements;
+  !acc
+
+let cluster_busy_time ~platform schedules =
+  let busy = Array.make (P.cluster_count platform) 0. in
+  List.iter
+    (fun sched ->
+      Array.iter
+        (fun pl ->
+          Array.iter
+            (fun p ->
+              let k = P.cluster_of_proc platform p in
+              busy.(k) <- busy.(k) +. (pl.finish -. pl.start))
+            pl.procs)
+        sched.placements)
+    schedules;
+  busy
+
+let parallel_efficiency ~platform t =
+  let capacity = ref 0. in
+  Array.iter
+    (fun pl ->
+      let speeds =
+        Array.fold_left (fun s p -> s +. P.proc_speed platform p) 0. pl.procs
+      in
+      capacity := !capacity +. ((pl.finish -. pl.start) *. speeds *. 1e9))
+    t.placements;
+  if !capacity <= 0. then 0. else Ptg.work t.ptg /. !capacity
+
+let used_power_avg t ~platform =
+  if t.makespan <= 0. then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iter
+      (fun pl ->
+        let power =
+          Array.fold_left
+            (fun s p -> s +. P.proc_speed platform p)
+            0. pl.procs
+        in
+        acc := !acc +. ((pl.finish -. pl.start) *. power))
+      t.placements;
+    !acc /. t.makespan
+  end
+
+type violation = { message : string }
+
+let fail fmt = Printf.ksprintf (fun message -> Error { message }) fmt
+
+let validate_one ~platform sched =
+  let ptg = sched.ptg in
+  let dag = ptg.Ptg.dag in
+  let n = Dag.node_count dag in
+  let rec check_node v =
+    if v >= n then Ok ()
+    else begin
+      let pl = sched.placements.(v) in
+      if pl.node <> v then fail "%s node %d: placement mislabeled" ptg.Ptg.name v
+      else if pl.finish < pl.start -. Mcs_util.Floatx.eps then
+        fail "%s node %d: finish %g before start %g" ptg.Ptg.name v pl.finish
+          pl.start
+      else if Ptg.is_virtual ptg v && Array.length pl.procs > 0 then
+        fail "%s node %d: virtual task holds processors" ptg.Ptg.name v
+      else if (not (Ptg.is_virtual ptg v)) && Array.length pl.procs = 0 then
+        fail "%s node %d: real task without processors" ptg.Ptg.name v
+      else begin
+        let sorted = Array.copy pl.procs in
+        Array.sort compare sorted;
+        let dup = ref false in
+        for i = 1 to Array.length sorted - 1 do
+          if sorted.(i) = sorted.(i - 1) then dup := true
+        done;
+        if !dup then fail "%s node %d: duplicate processor" ptg.Ptg.name v
+        else begin
+          let wrong_cluster =
+            Array.exists
+              (fun p -> P.cluster_of_proc platform p <> pl.cluster)
+              pl.procs
+          in
+          if wrong_cluster then
+            fail "%s node %d: processor outside cluster %d" ptg.Ptg.name v
+              pl.cluster
+          else begin
+            let bad_pred = ref None in
+            Array.iter
+              (fun (u, _e) ->
+                let pu = sched.placements.(u) in
+                if pl.start +. Mcs_util.Floatx.eps < pu.finish then
+                  bad_pred := Some u)
+              (Dag.preds dag v);
+            match !bad_pred with
+            | Some u ->
+              fail "%s node %d starts at %g before predecessor %d ends at %g"
+                ptg.Ptg.name v pl.start u sched.placements.(u).finish
+            | None -> check_node (v + 1)
+          end
+        end
+      end
+    end
+  in
+  check_node 0
+
+let validate ~platform schedules =
+  let rec all = function
+    | [] -> Ok ()
+    | s :: rest -> (
+      match validate_one ~platform s with
+      | Error _ as e -> e
+      | Ok () -> all rest)
+  in
+  match all schedules with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Per-processor time-overlap check across every application. *)
+    let per_proc = Hashtbl.create 256 in
+    List.iteri
+      (fun si sched ->
+        Array.iter
+          (fun pl ->
+            Array.iter
+              (fun p ->
+                let prev =
+                  Option.value (Hashtbl.find_opt per_proc p) ~default:[]
+                in
+                Hashtbl.replace per_proc p
+                  ((pl.start, pl.finish, si, pl.node) :: prev))
+              pl.procs)
+          sched.placements)
+      schedules;
+    let result = ref (Ok ()) in
+    Hashtbl.iter
+      (fun p intervals ->
+        match !result with
+        | Error _ -> ()
+        | Ok () ->
+          let sorted =
+            List.sort (fun (s1, _, _, _) (s2, _, _, _) -> compare s1 s2)
+              intervals
+          in
+          let rec scan = function
+            | (s1, f1, a1, v1) :: ((s2, _, a2, v2) :: _ as rest) ->
+              if s2 +. Mcs_util.Floatx.eps < f1 then
+                result :=
+                  fail
+                    "processor %d double-booked: app %d node %d [%g, %g] \
+                     overlaps app %d node %d starting %g"
+                    p a1 v1 s1 f1 a2 v2 s2
+              else scan rest
+            | [ _ ] | [] -> ()
+          in
+          scan sorted)
+      per_proc;
+    !result
+
+let gantt ~platform ?(width = 78) schedules =
+  let horizon =
+    List.fold_left (fun acc s -> Float.max acc s.makespan) 0. schedules
+  in
+  if horizon <= 0. then "(empty schedule)\n"
+  else begin
+    let buf = Buffer.create 1024 in
+    let scale = float_of_int width /. horizon in
+    let letter si = Char.chr (Char.code 'A' + (si mod 26)) in
+    for k = 0 to P.cluster_count platform - 1 do
+      let c = P.cluster platform k in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s |" c.P.cluster_name);
+      (* One row per cluster: each column shows which application uses
+         the most processor-seconds of that cluster in that time slice. *)
+      let usage = Array.make width (-1) in
+      let weight = Array.make width 0. in
+      List.iteri
+        (fun si sched ->
+          Array.iter
+            (fun pl ->
+              let nb_here =
+                Array.fold_left
+                  (fun acc p ->
+                    if P.cluster_of_proc platform p = k then acc + 1 else acc)
+                  0 pl.procs
+              in
+              if nb_here > 0 then begin
+                let c0 = int_of_float (pl.start *. scale) in
+                let c1 =
+                  min (width - 1) (int_of_float (pl.finish *. scale))
+                in
+                for col = max 0 c0 to c1 do
+                  let w = float_of_int nb_here in
+                  if w > weight.(col) then begin
+                    weight.(col) <- w;
+                    usage.(col) <- si
+                  end
+                done
+              end)
+            sched.placements)
+        schedules;
+      Array.iter
+        (fun si ->
+          Buffer.add_char buf (if si < 0 then ' ' else letter si))
+        usage;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "horizon: %.2f s; apps: %s\n" horizon
+         (String.concat ", "
+            (List.mapi
+               (fun si s ->
+                 Printf.sprintf "%c=%s#%d" (letter si) s.ptg.Ptg.name
+                   s.ptg.Ptg.id)
+               schedules)));
+    Buffer.contents buf
+  end

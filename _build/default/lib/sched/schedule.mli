@@ -1,0 +1,68 @@
+(** Schedules: the outcome of mapping one PTG onto the platform.
+
+    A placement fixes, for each DAG node, the cluster, the exact
+    processor set, and the start/finish times. Virtual entry/exit nodes
+    occupy no processor. Validation checks the properties every correct
+    concurrent schedule must have, and is exercised heavily by the test
+    suite. *)
+
+type placement = {
+  node : int;
+  cluster : int;
+  procs : int array;  (** global processor ids; empty for virtual nodes *)
+  start : float;
+  finish : float;
+}
+
+type t = {
+  ptg : Mcs_ptg.Ptg.t;
+  placements : placement array;  (** indexed by DAG node *)
+  makespan : float;              (** finish time of the exit node *)
+}
+
+val make : ptg:Mcs_ptg.Ptg.t -> placements:placement array -> t
+(** Computes the makespan from the exit placement.
+    @raise Invalid_argument if the array length differs from the node
+    count. *)
+
+val placement : t -> int -> placement
+
+val busy_time : t -> float
+(** Σ over placements of [(finish − start) × |procs|] — processor time
+    consumed by the application. *)
+
+val cluster_busy_time :
+  platform:Mcs_platform.Platform.t -> t list -> float array
+(** Processor-seconds consumed per cluster over a set of concurrent
+    schedules — the basis of utilisation reports. *)
+
+val parallel_efficiency :
+  platform:Mcs_platform.Platform.t -> t -> float
+(** Useful flops over the flop capacity of the processor time held:
+    1 when every held processor computes all the time, lower when
+    Amdahl overheads waste capacity. 0 for an empty schedule. *)
+
+val used_power_avg : t -> platform:Mcs_platform.Platform.t -> float
+(** Average processing power used over the schedule's span, in GFlop/s:
+    Σ (duration × Σ proc speeds) / makespan. Compared against
+    [β × total power] in the constraint-audit experiment. *)
+
+type violation = {
+  message : string;
+}
+
+val validate :
+  platform:Mcs_platform.Platform.t -> t list -> (unit, violation) Result.t
+(** Check a set of concurrent schedules:
+    - every non-virtual node has at least one processor, all within its
+      declared (single) cluster, without duplicates;
+    - [start + eps >= ] every predecessor's [finish] (redistribution
+      latencies may only push starts later);
+    - [finish >= start];
+    - no processor runs two placements (of any application) at
+      overlapping times. *)
+
+val gantt :
+  platform:Mcs_platform.Platform.t -> ?width:int -> t list -> string
+(** Text Gantt chart of the concurrent schedules (one line per cluster,
+    applications lettered), for the examples and CLI. *)

@@ -1,0 +1,72 @@
+module Ptg = Mcs_ptg.Ptg
+
+let join_procs procs =
+  String.concat "+" (Array.to_list (Array.map string_of_int procs))
+
+let to_csv schedules =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "app,app_name,node,virtual,cluster,procs,nb_procs,start,finish\n";
+  List.iteri
+    (fun i sched ->
+      let ptg = sched.Schedule.ptg in
+      Array.iter
+        (fun pl ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%d,%b,%d,%s,%d,%.9g,%.9g\n" i
+               ptg.Ptg.name pl.Schedule.node
+               (Ptg.is_virtual ptg pl.Schedule.node)
+               pl.Schedule.cluster
+               (join_procs pl.Schedule.procs)
+               (Array.length pl.Schedule.procs)
+               pl.Schedule.start pl.Schedule.finish))
+        sched.Schedule.placements)
+    schedules;
+  Buffer.contents buf
+
+(* Minimal JSON string escaping: the only strings we emit are PTG names
+   (generator-controlled), but escape defensively anyway. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json schedules =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"applications\":[";
+  List.iteri
+    (fun i sched ->
+      if i > 0 then Buffer.add_char buf ',';
+      let ptg = sched.Schedule.ptg in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"name\":\"%s\",\"makespan\":%.17g,\"tasks\":["
+           ptg.Ptg.id (escape ptg.Ptg.name) sched.Schedule.makespan);
+      Array.iteri
+        (fun j pl ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"node\":%d,\"virtual\":%b,\"cluster\":%d,\"procs\":[%s],\
+                \"start\":%.17g,\"finish\":%.17g}"
+               pl.Schedule.node
+               (Ptg.is_virtual ptg pl.Schedule.node)
+               pl.Schedule.cluster
+               (String.concat ","
+                  (Array.to_list (Array.map string_of_int pl.Schedule.procs)))
+               pl.Schedule.start pl.Schedule.finish))
+        sched.Schedule.placements;
+      Buffer.add_string buf "]}")
+    schedules;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Schedule export for external tooling.
+
+    Two formats:
+    - CSV, one row per task placement (plottable as a Gantt chart with
+      any spreadsheet or matplotlib);
+    - a compact JSON document embedding applications, placements and
+      makespans (hand-rolled encoder, no dependency). *)
+
+val to_csv : Schedule.t list -> string
+(** Header:
+    [app,app_name,node,virtual,cluster,procs,nb_procs,start,finish].
+    The [procs] cell joins global processor ids with ['+']. *)
+
+val to_json : Schedule.t list -> string
+(** One JSON object with an [applications] array. Numbers are printed
+    with enough digits to round-trip. *)

@@ -1,0 +1,1 @@
+lib/sim/flow_network.ml: Array Float Hashtbl List Printf

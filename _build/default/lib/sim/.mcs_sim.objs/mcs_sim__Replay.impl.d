@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Array Float Flow_network Hashtbl List Mcs_dag Mcs_platform Mcs_ptg Mcs_sched Mcs_taskmodel Mcs_util Printf Topology

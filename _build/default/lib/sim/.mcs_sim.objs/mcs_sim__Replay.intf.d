@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Mcs_platform Mcs_sched

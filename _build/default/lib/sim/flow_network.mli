@@ -1,0 +1,48 @@
+(** Fluid network model with max-min fair bandwidth sharing.
+
+    This is the same steady-state model as SimGrid's default network
+    model: each active flow follows a route (a set of links); rates are
+    assigned by progressive filling — repeatedly saturate the most
+    contended link, splitting its remaining capacity equally among its
+    unfrozen flows — which yields the max-min fair allocation.
+
+    The module only computes rates; timing is the engine's business. *)
+
+type t
+
+val create : capacities:float array -> t
+(** One network with [Array.length capacities] links.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val link_count : t -> int
+
+type flow
+(** Handle on an active flow. *)
+
+val flow_id : flow -> int
+
+val add_flow : t -> ?cap:float -> int list -> flow
+(** Register a flow traversing the given links (duplicates ignored),
+    optionally bounded by a per-flow rate cap — used to model the
+    aggregate NIC capacity of the endpoints, independent of fabric
+    contention. An empty route with no cap means the flow is only
+    bounded by [max_rate].
+    @raise Invalid_argument on an unknown link id or non-positive cap. *)
+
+val remove_flow : t -> flow -> unit
+(** Unregister. Removing twice is an error.
+    @raise Invalid_argument if the flow is not active. *)
+
+val active_flows : t -> flow list
+
+val rates : t -> (flow * float) list
+(** Max-min fair rate of every active flow, bytes/s. Flows with an empty
+    route get [max_rate]. *)
+
+val rate : t -> flow -> float
+(** Rate of one flow (computes the global allocation; prefer {!rates}
+    when querying many). *)
+
+val max_rate : float
+(** Rate cap for flows with an empty route (1e18 — effectively
+    unbounded). *)

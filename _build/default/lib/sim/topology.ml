@@ -1,0 +1,33 @@
+module P = Mcs_platform.Platform
+
+type t = {
+  platform : P.t;
+  capacities : float array;
+  backbone : int option;  (* link id of the backbone, when present *)
+}
+
+let of_platform platform =
+  let nc = P.cluster_count platform in
+  let multi_switch = P.switch_count platform > 1 in
+  let n_links = nc + if multi_switch then 1 else 0 in
+  let capacities =
+    Array.init n_links (fun l ->
+        if l < nc then P.fabric_bandwidth platform l
+        else P.backbone_bandwidth platform)
+  in
+  let backbone = if multi_switch then Some nc else None in
+  { platform; capacities; backbone }
+
+let capacities t = Array.copy t.capacities
+
+let route t ~src_cluster ~dst_cluster =
+  if src_cluster = dst_cluster then [ src_cluster ]
+  else begin
+    let base = [ src_cluster; dst_cluster ] in
+    match t.backbone with
+    | Some b when not (P.same_switch t.platform src_cluster dst_cluster) ->
+      b :: base
+    | Some _ | None -> base
+  end
+
+let latency t = P.latency t.platform

@@ -1,0 +1,24 @@
+(** Mapping from a {!Mcs_platform.Platform.t} to simulator links and
+    routes.
+
+    Link layout: one uplink per cluster (ids [0 .. clusters-1], capacity
+    [link_bandwidth]) plus, when the site has several switches, one
+    backbone link (id [clusters], capacity [backbone_bandwidth]) crossed
+    by traffic between clusters sitting on different switches —
+    reproducing the per-site contention differences of Section 2
+    (Lille/Rennes: one switch; Nancy/Sophia: one per cluster). *)
+
+type t
+
+val of_platform : Mcs_platform.Platform.t -> t
+
+val capacities : t -> float array
+(** Capacity array to feed {!Flow_network.create}. *)
+
+val route : t -> src_cluster:int -> dst_cluster:int -> int list
+(** Links traversed by a transfer. Intra-cluster transfers cross their
+    cluster's uplink once; inter-cluster ones cross both uplinks, plus
+    the backbone when the clusters are on different switches. *)
+
+val latency : t -> float
+(** One-way latency applied at flow start. *)

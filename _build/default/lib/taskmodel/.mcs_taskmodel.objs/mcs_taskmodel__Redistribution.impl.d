@@ -1,0 +1,1 @@
+lib/taskmodel/redistribution.ml: Array Float Mcs_platform

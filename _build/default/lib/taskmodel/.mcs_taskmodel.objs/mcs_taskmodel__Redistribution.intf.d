@@ -1,0 +1,1 @@
+lib/taskmodel/redistribution.mli: Mcs_platform

@@ -1,0 +1,1 @@
+lib/taskmodel/task.ml: Format Mcs_prng Printf Prng

@@ -1,0 +1,1 @@
+lib/taskmodel/task.mli: Format Mcs_prng

@@ -1,0 +1,43 @@
+module P = Mcs_platform.Platform
+
+let route_bandwidth platform ~src_cluster ~dst_cluster =
+  let src_fabric = P.fabric_bandwidth platform src_cluster in
+  if src_cluster = dst_cluster then src_fabric
+  else begin
+    let narrow = Float.min src_fabric (P.fabric_bandwidth platform dst_cluster) in
+    if P.same_switch platform src_cluster dst_cluster then narrow
+    else Float.min narrow (P.backbone_bandwidth platform)
+  end
+
+let rate platform ~src_cluster ~dst_cluster ~src_procs ~dst_procs =
+  if src_procs < 1 || dst_procs < 1 then
+    invalid_arg "Redistribution.rate: processor count < 1";
+  let streams = float_of_int (min src_procs dst_procs) in
+  Float.min
+    (streams *. P.nic_bandwidth platform)
+    (route_bandwidth platform ~src_cluster ~dst_cluster)
+
+let transfer_time platform ~src_cluster ~dst_cluster ~src_procs ~dst_procs
+    ~bytes =
+  if bytes <= 0. then 0.
+  else begin
+    let r = rate platform ~src_cluster ~dst_cluster ~src_procs ~dst_procs in
+    P.latency platform +. (bytes /. r)
+  end
+
+let same_procs a b =
+  Array.length a = Array.length b
+  &&
+  let sa = Array.copy a and sb = Array.copy b in
+  Array.sort compare sa;
+  Array.sort compare sb;
+  sa = sb
+
+let estimate platform ~src_cluster ~src_procs ~dst_cluster ~dst_procs ~bytes =
+  if bytes <= 0. then 0.
+  else if src_cluster = dst_cluster && same_procs src_procs dst_procs then 0.
+  else
+    transfer_time platform ~src_cluster ~dst_cluster
+      ~src_procs:(max 1 (Array.length src_procs))
+      ~dst_procs:(max 1 (Array.length dst_procs))
+      ~bytes

@@ -1,0 +1,1 @@
+lib/util/parmap.ml: Array Atomic Domain List Sys

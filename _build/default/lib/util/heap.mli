@@ -1,0 +1,37 @@
+(** Imperative binary min-heap.
+
+    The heap is generic in the element type and is ordered by the
+    comparison function supplied at creation ([cmp a b < 0] means [a] has
+    higher priority, i.e., pops first). Used for the simulator event queue
+    and the ready-task queues of the mapper. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element; O(log n). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}. @raise Invalid_argument when the heap is empty. *)
+
+val peek : 'a t -> 'a option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (heap is unchanged). *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Heapify a list; O(n log n). *)

@@ -1,0 +1,54 @@
+let domain_count () =
+  let requested =
+    match Sys.getenv_opt "MCS_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+    | None -> None
+  in
+  match requested with
+  | Some n -> n
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f l =
+  let n = match domains with Some n -> max 1 n | None -> domain_count () in
+  let items = Array.of_list l in
+  let total = Array.length items in
+  if n <= 1 || total <= 1 then List.map f l
+  else begin
+    let results = Array.make total None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        if Atomic.get failure = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < total then begin
+            (match f items.(i) with
+            | value -> results.(i) <- Some value
+            | exception e ->
+              (* Keep the first failure; losing later ones is fine. *)
+              ignore (Atomic.compare_and_set failure None (Some e)));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min (n - 1) (total - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+      Array.to_list
+        (Array.map
+           (fun r ->
+             match r with
+             | Some v -> v
+             | None -> assert false (* all indices were processed *))
+           results)
+  end

@@ -1,0 +1,103 @@
+type t = {
+  nb_procs : int;
+  intervals : (float * float) list array;  (* per proc, sorted by start *)
+}
+
+let eps = 1e-9
+
+let create ~procs =
+  if procs < 1 then invalid_arg "Timeline.create: procs < 1";
+  { nb_procs = procs; intervals = Array.make procs [] }
+
+let procs t = t.nb_procs
+
+let check_proc t proc =
+  if proc < 0 || proc >= t.nb_procs then
+    invalid_arg (Printf.sprintf "Timeline: processor %d out of range" proc)
+
+let reserve t ~proc ~start ~finish =
+  check_proc t proc;
+  if Float.is_nan start || Float.is_nan finish || finish < start then
+    invalid_arg "Timeline.reserve: ill-formed interval";
+  if finish -. start <= eps then ()
+  else begin
+    let rec insert = function
+      | [] -> [ (start, finish) ]
+      | (s, f) :: rest when f <= start +. eps -> (s, f) :: insert rest
+      | (s, f) :: rest ->
+        if s >= finish -. eps then (start, finish) :: (s, f) :: rest
+        else
+          invalid_arg
+            (Printf.sprintf
+               "Timeline.reserve: [%g, %g) overlaps [%g, %g) on processor %d"
+               start finish s f proc)
+    in
+    t.intervals.(proc) <- insert t.intervals.(proc)
+  end
+
+let is_free t ~proc ~start ~finish =
+  check_proc t proc;
+  if finish -. start <= eps then true
+  else
+    List.for_all
+      (fun (s, f) -> f <= start +. eps || s >= finish -. eps)
+      t.intervals.(proc)
+
+let free_at t ~proc ~at ~duration =
+  is_free t ~proc ~start:at ~finish:(at +. duration)
+
+let next_candidates t ~after =
+  let ends = ref [ after ] in
+  Array.iter
+    (List.iter (fun (_, f) -> if f > after +. eps then ends := f :: !ends))
+    t.intervals;
+  List.sort_uniq Float.compare !ends
+
+(* End of the last reservation on [proc] that finishes at or before [at]
+   (0 when idle since the origin) — the best-fit key. *)
+let previous_end t ~proc ~at =
+  List.fold_left
+    (fun acc (_, f) -> if f <= at +. eps then Float.max acc f else acc)
+    0. t.intervals.(proc)
+
+let find_slot ?procs_subset t ~count ~duration ~after =
+  let candidates_procs =
+    match procs_subset with
+    | Some a -> a
+    | None -> Array.init t.nb_procs (fun p -> p)
+  in
+  if count < 1 || count > Array.length candidates_procs then None
+  else begin
+    let rec try_times = function
+      | [] -> None
+      | start :: rest ->
+        let free =
+          Array.to_list candidates_procs
+          |> List.filter (fun p -> free_at t ~proc:p ~at:start ~duration)
+        in
+        if List.length free >= count then begin
+          (* Best fit: latest previous reservation end first. *)
+          let keyed =
+            List.map (fun p -> (previous_end t ~proc:p ~at:start, p)) free
+          in
+          let sorted =
+            List.sort
+              (fun (e1, p1) (e2, p2) ->
+                let c = Float.compare e2 e1 in
+                if c <> 0 then c else compare p1 p2)
+              keyed
+          in
+          let chosen =
+            List.filteri (fun i _ -> i < count) sorted
+            |> List.map snd |> List.sort compare |> Array.of_list
+          in
+          Some (start, chosen)
+        end
+        else try_times rest
+    in
+    try_times (next_candidates t ~after)
+  end
+
+let busy_intervals t ~proc =
+  check_proc t proc;
+  t.intervals.(proc)

@@ -1,0 +1,50 @@
+(** Per-processor reservation timelines with hole search — the machinery
+    behind conservative backfilling (Feitelson et al., JSSPP'97), where a
+    task may slide into an idle hole provided no already-reserved task is
+    delayed.
+
+    A timeline tracks, for a fixed set of processors, the busy intervals
+    already reserved on each. {!find_slot} returns the earliest time at
+    or after a release time at which a given number of processors are
+    simultaneously free for a given duration, together with a best-fit
+    choice of processors. Reservations never move once placed. *)
+
+type t
+
+val create : procs:int -> t
+(** Timeline for processors [0 .. procs-1], initially all idle.
+    @raise Invalid_argument if [procs < 1]. *)
+
+val procs : t -> int
+
+val reserve : t -> proc:int -> start:float -> finish:float -> unit
+(** Mark [proc] busy on [start, finish). Zero-length reservations are
+    ignored.
+    @raise Invalid_argument if the interval is ill-formed, out of range,
+    or overlaps an existing reservation on that processor. *)
+
+val is_free : t -> proc:int -> start:float -> finish:float -> bool
+(** Whether [proc] is idle during the whole interval. *)
+
+val free_at : t -> proc:int -> at:float -> duration:float -> bool
+(** [is_free] convenience on [at, at + duration). *)
+
+val next_candidates : t -> after:float -> float list
+(** The release points of the availability profile at or after [after]:
+    [after] itself plus every reservation end beyond it, sorted and
+    deduplicated. The earliest feasible start of any new reservation is
+    one of these. *)
+
+val find_slot :
+  ?procs_subset:int array -> t -> count:int -> duration:float ->
+  after:float -> (float * int array) option
+(** [find_slot t ~count ~duration ~after] is the earliest [start >=
+    after] such that [count] processors (within [procs_subset] when
+    given) are free on [start, start + duration), paired with a
+    best-fit processor choice (the ones whose previous reservation ends
+    latest). [None] only when [count] exceeds the processors considered.
+    With finite reservations a slot always exists after the last
+    release. *)
+
+val busy_intervals : t -> proc:int -> (float * float) list
+(** Sorted reservations of one processor (inspection/tests). *)

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Float List Mcs_dag Mcs_prng Option QCheck QCheck_alcotest String

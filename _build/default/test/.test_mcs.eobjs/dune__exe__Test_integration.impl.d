@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Mcs_experiments Mcs_platform Mcs_prng Mcs_sched Mcs_sim

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Mcs_metrics Metrics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mheft.ml: Alcotest Array Mcs_dag Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_taskmodel Mheft QCheck QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_parmap.ml: Alcotest Fun List Mcs_util Parmap QCheck QCheck_alcotest

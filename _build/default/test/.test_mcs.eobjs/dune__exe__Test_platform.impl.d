@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Grid5000 List Mcs_platform Platform QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun List Mcs_prng Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ptg.ml: Alcotest Analysis Array Builder Fft Fun Hashtbl List Mcs_dag Mcs_prng Mcs_ptg Mcs_taskmodel Option Printf Ptg QCheck QCheck_alcotest Random_gen Strassen String

@@ -1,0 +1,1 @@
+test/test_release.ml: Alcotest Array Float List Mcs_experiments Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_sim Mcs_taskmodel Pipeline Printf Schedule Strategy

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Flow_network List Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_sim Mcs_taskmodel Printf QCheck QCheck_alcotest Replay Topology

@@ -1,0 +1,1 @@
+test/test_taskmodel.ml: Alcotest Mcs_platform Mcs_prng Mcs_taskmodel QCheck QCheck_alcotest Redistribution Task

@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Array Fun List Mcs_prng Mcs_util QCheck QCheck_alcotest Timeline

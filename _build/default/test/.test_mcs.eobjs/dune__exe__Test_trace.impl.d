@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List Mcs_dag Mcs_platform Mcs_prng Mcs_ptg Mcs_sched Mcs_taskmodel Pipeline Schedule Strategy String Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Floatx Heap List Mcs_util QCheck QCheck_alcotest String Table

@@ -1,0 +1,345 @@
+open Mcs_dag
+
+(* A diamond with a tail: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 4. *)
+let diamond () =
+  Dag.of_edges ~n:5 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+
+let test_counts () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 5 (Dag.node_count g);
+  Alcotest.(check int) "edges" 5 (Dag.edge_count g);
+  Alcotest.(check int) "out 0" 2 (Dag.out_degree g 0);
+  Alcotest.(check int) "in 3" 2 (Dag.in_degree g 3)
+
+let test_sources_sinks () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 4 ] (Dag.sinks g);
+  let iso = Dag.of_edges ~n:3 [] in
+  Alcotest.(check (list int)) "isolated sources" [ 0; 1; 2 ] (Dag.sources iso);
+  Alcotest.(check (list int)) "isolated sinks" [ 0; 1; 2 ] (Dag.sinks iso)
+
+let check_topological g order =
+  let pos = Array.make (Dag.node_count g) (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Alcotest.(check bool) "is permutation" true
+    (Array.for_all (fun p -> p >= 0) pos);
+  for e = 0 to Dag.edge_count g - 1 do
+    let s, d = Dag.edge g e in
+    Alcotest.(check bool) "edge respects order" true (pos.(s) < pos.(d))
+  done
+
+let test_topo () =
+  let g = diamond () in
+  check_topological g (Dag.topological_order g)
+
+let test_cycle_detection () =
+  (try
+     ignore (Dag.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ]);
+     Alcotest.fail "cycle not detected"
+   with Dag.Cycle cyc ->
+     Alcotest.(check bool) "cycle non-trivial" true (List.length cyc >= 3));
+  try
+    ignore (Dag.of_edges ~n:2 [ (1, 1) ]);
+    Alcotest.fail "self loop not detected"
+  with Dag.Cycle _ -> ()
+
+let test_out_of_range () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dag.of_edges ~n:2 [ (0, 5) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_edges_collapse () =
+  let g = Dag.of_edges ~n:2 [ (0, 1); (0, 1); (0, 1) ] in
+  Alcotest.(check int) "one edge" 1 (Dag.edge_count g)
+
+let test_edge_id_lookup () =
+  let g = diamond () in
+  (match Dag.edge_id g ~src:0 ~dst:2 with
+  | Some e ->
+    let s, d = Dag.edge g e in
+    Alcotest.(check (pair int int)) "round trip" (0, 2) (s, d)
+  | None -> Alcotest.fail "edge 0->2 missing");
+  Alcotest.(check (option int)) "absent edge" None (Dag.edge_id g ~src:1 ~dst:2);
+  Alcotest.(check bool) "is_edge" true (Dag.is_edge g ~src:3 ~dst:4)
+
+let test_levels () =
+  let g = diamond () in
+  let levels = Dag.depth_levels g in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2; 3 |] levels;
+  Alcotest.(check int) "depth" 4 (Dag.depth g);
+  Alcotest.(check int) "max width" 2 (Dag.max_width g);
+  let members = Dag.level_members g in
+  Alcotest.(check (array int)) "level 1 members" [| 1; 2 |] members.(1)
+
+let test_longest_path_weighted () =
+  let g = diamond () in
+  let node_weight = function 0 -> 1. | 1 -> 5. | 2 -> 2. | 3 -> 1. | _ -> 3. in
+  let length, path =
+    Dag.longest_path g ~node_weight ~edge_weight:(fun _ -> 0.)
+  in
+  Alcotest.(check (float 1e-9)) "length" 10. length;
+  Alcotest.(check (list int)) "path" [ 0; 1; 3; 4 ] path
+
+let test_longest_path_edge_weights () =
+  let g = diamond () in
+  (* Make the 0->2 branch win through a heavy edge. *)
+  let edge_weight e =
+    match Dag.edge g e with (0, 2) -> 100. | _ -> 0.
+  in
+  let length, path =
+    Dag.longest_path g ~node_weight:(fun _ -> 1.) ~edge_weight
+  in
+  Alcotest.(check (float 1e-9)) "length" 104. length;
+  Alcotest.(check (list int)) "path" [ 0; 2; 3; 4 ] path
+
+let test_bottom_top_levels () =
+  let g = diamond () in
+  let w = function 0 -> 1. | 1 -> 5. | 2 -> 2. | 3 -> 1. | _ -> 3. in
+  let bl = Dag.bottom_levels g ~node_weight:w ~edge_weight:(fun _ -> 0.) in
+  let tl = Dag.top_levels g ~node_weight:w ~edge_weight:(fun _ -> 0.) in
+  Alcotest.(check (float 1e-9)) "bl entry = cp" 10. bl.(0);
+  Alcotest.(check (float 1e-9)) "bl exit" 3. bl.(4);
+  Alcotest.(check (float 1e-9)) "tl entry" 0. tl.(0);
+  Alcotest.(check (float 1e-9)) "tl exit" 7. tl.(4);
+  (* On a critical-path node, tl + bl equals the critical path length. *)
+  Alcotest.(check (float 1e-9)) "tl+bl on cp node" 10. (tl.(1) +. bl.(1))
+
+let test_reachability () =
+  let g = diamond () in
+  Alcotest.(check bool) "0 reaches 4" true (Dag.has_path g ~src:0 ~dst:4);
+  Alcotest.(check bool) "1 not to 2" false (Dag.has_path g ~src:1 ~dst:2);
+  Alcotest.(check bool) "self" true (Dag.has_path g ~src:2 ~dst:2);
+  let r = Dag.reachable_from g 1 in
+  Alcotest.(check (array bool)) "from 1" [| false; true; false; true; true |] r
+
+let test_to_dot () =
+  let g = diamond () in
+  let dot = Dag.to_dot ~graph_name:"g" g in
+  Alcotest.(check bool) "mentions edge" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec loop i =
+         i + n <= String.length s && (String.sub s i n = sub || loop (i + 1))
+       in
+       loop 0
+     in
+     contains dot "n0 -> n1" && contains dot "digraph g")
+
+let test_empty_graph () =
+  let g = Dag.of_edges ~n:0 [] in
+  Alcotest.(check int) "no nodes" 0 (Dag.node_count g);
+  Alcotest.(check int) "depth" 0 (Dag.depth g);
+  Alcotest.(check int) "width" 0 (Dag.max_width g);
+  let len, path = Dag.longest_path g ~node_weight:(fun _ -> 1.)
+      ~edge_weight:(fun _ -> 0.) in
+  Alcotest.(check (float 0.)) "lp length" 0. len;
+  Alcotest.(check (list int)) "lp path" [] path
+
+(* Random layered DAG generator for property tests. *)
+let random_dag_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 40 in
+    let* density = float_range 0.05 0.9 in
+    let* seed = int_range 0 10_000 in
+    return (n, density, seed))
+
+let build_random (n, density, seed) =
+  let rng = Mcs_prng.Prng.create ~seed in
+  let edges = ref [] in
+  for s = 0 to n - 1 do
+    for d = s + 1 to n - 1 do
+      if Mcs_prng.Prng.bernoulli rng ~p:density then edges := (s, d) :: !edges
+    done
+  done;
+  Dag.of_edges ~n !edges
+
+let qcheck_topo_valid =
+  QCheck.Test.make ~name:"topological order valid on random DAGs" ~count:100
+    (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let order = Dag.topological_order g in
+      let pos = Array.make (Dag.node_count g) (-1) in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      let ok = ref (Array.for_all (fun p -> p >= 0) pos) in
+      for e = 0 to Dag.edge_count g - 1 do
+        let s, d = Dag.edge g e in
+        if pos.(s) >= pos.(d) then ok := false
+      done;
+      !ok)
+
+let qcheck_levels_consistent =
+  QCheck.Test.make ~name:"levels: every edge climbs at least one level"
+    ~count:100 (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let levels = Dag.depth_levels g in
+      let ok = ref true in
+      for e = 0 to Dag.edge_count g - 1 do
+        let s, d = Dag.edge g e in
+        if levels.(d) < levels.(s) + 1 then ok := false
+      done;
+      (* And some predecessor realises level - 1. *)
+      for v = 0 to Dag.node_count g - 1 do
+        if Dag.in_degree g v = 0 then begin
+          if levels.(v) <> 0 then ok := false
+        end
+        else if
+          not
+            (Array.exists
+               (fun (u, _) -> levels.(u) = levels.(v) - 1)
+               (Dag.preds g v))
+        then ok := false
+      done;
+      !ok)
+
+let qcheck_bottom_levels_monotone =
+  QCheck.Test.make
+    ~name:"bottom level of a predecessor dominates its successors"
+    ~count:100 (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let bl =
+        Dag.bottom_levels g
+          ~node_weight:(fun v -> 1. +. float_of_int (v mod 3))
+          ~edge_weight:(fun _ -> 0.5)
+      in
+      let ok = ref true in
+      for e = 0 to Dag.edge_count g - 1 do
+        let s, d = Dag.edge g e in
+        if bl.(s) < bl.(d) then ok := false
+      done;
+      !ok)
+
+let qcheck_longest_path_is_max =
+  QCheck.Test.make
+    ~name:"longest path equals max over nodes of tl + node weight + bl"
+    ~count:100 (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      if Dag.node_count g = 0 then true
+      else begin
+        let w v = 1. +. float_of_int (v mod 5) in
+        let ew _ = 0.25 in
+        let bl = Dag.bottom_levels g ~node_weight:w ~edge_weight:ew in
+        let tl = Dag.top_levels g ~node_weight:w ~edge_weight:ew in
+        let len, path = Dag.longest_path g ~node_weight:w ~edge_weight:ew in
+        let max_combined = ref 0. in
+        for v = 0 to Dag.node_count g - 1 do
+          max_combined := Float.max !max_combined (tl.(v) +. bl.(v))
+        done;
+        abs_float (len -. !max_combined) < 1e-9
+        && path <> []
+        (* The returned path realises the length. *)
+        &&
+        let rec path_len = function
+          | [] -> 0.
+          | [ v ] -> w v
+          | u :: (v :: _ as rest) ->
+            let e = Option.get (Dag.edge_id g ~src:u ~dst:v) in
+            w u +. ew e +. path_len rest
+        in
+        abs_float (path_len path -. len) < 1e-9
+      end)
+
+let suite =
+  [
+    ( "dag",
+      [
+        Alcotest.test_case "counts" `Quick test_counts;
+        Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+        Alcotest.test_case "topological order" `Quick test_topo;
+        Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+        Alcotest.test_case "out of range" `Quick test_out_of_range;
+        Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_collapse;
+        Alcotest.test_case "edge ids" `Quick test_edge_id_lookup;
+        Alcotest.test_case "levels" `Quick test_levels;
+        Alcotest.test_case "longest path (nodes)" `Quick
+          test_longest_path_weighted;
+        Alcotest.test_case "longest path (edges)" `Quick
+          test_longest_path_edge_weights;
+        Alcotest.test_case "bottom/top levels" `Quick test_bottom_top_levels;
+        Alcotest.test_case "reachability" `Quick test_reachability;
+        Alcotest.test_case "dot export" `Quick test_to_dot;
+        Alcotest.test_case "empty graph" `Quick test_empty_graph;
+        QCheck_alcotest.to_alcotest qcheck_topo_valid;
+        QCheck_alcotest.to_alcotest qcheck_levels_consistent;
+        QCheck_alcotest.to_alcotest qcheck_bottom_levels_monotone;
+        QCheck_alcotest.to_alcotest qcheck_longest_path_is_max;
+      ] );
+  ]
+
+(* ---------- Transitive closure / reduction ---------- *)
+
+let test_closure_diamond () =
+  let g = diamond () in
+  let c = Dag.transitive_closure g in
+  (* 0 reaches 1 2 3 4; 1 -> 3 4; 2 -> 3 4; 3 -> 4: 4+2+2+1 edges. *)
+  Alcotest.(check int) "edge count" 9 (Dag.edge_count c);
+  Alcotest.(check bool) "0->4 direct" true (Dag.is_edge c ~src:0 ~dst:4)
+
+let test_reduction_removes_shortcut () =
+  (* 0 -> 1 -> 2 plus a shortcut 0 -> 2. *)
+  let g = Dag.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  Alcotest.(check bool) "shortcut redundant" true
+    (Dag.is_transitively_redundant g
+       (Option.get (Dag.edge_id g ~src:0 ~dst:2)));
+  Alcotest.(check bool) "chain edge essential" false
+    (Dag.is_transitively_redundant g
+       (Option.get (Dag.edge_id g ~src:0 ~dst:1)));
+  let r = Dag.transitive_reduction g in
+  Alcotest.(check int) "two edges left" 2 (Dag.edge_count r);
+  Alcotest.(check bool) "shortcut gone" false (Dag.is_edge r ~src:0 ~dst:2)
+
+let test_reduction_keeps_diamond () =
+  (* No diamond edge is redundant. *)
+  let g = diamond () in
+  let r = Dag.transitive_reduction g in
+  Alcotest.(check int) "unchanged" 5 (Dag.edge_count r)
+
+let qcheck_reduction_preserves_reachability =
+  QCheck.Test.make
+    ~name:"transitive reduction preserves reachability; closure contains both"
+    ~count:60 (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let r = Dag.transitive_reduction g in
+      let c = Dag.transitive_closure g in
+      let n = Dag.node_count g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let from_g = Dag.reachable_from g u in
+        let from_r = Dag.reachable_from r u in
+        for v = 0 to n - 1 do
+          if from_g.(v) <> from_r.(v) then ok := false;
+          if u <> v && from_g.(v) && not (Dag.is_edge c ~src:u ~dst:v) then
+            ok := false
+        done
+      done;
+      !ok
+      && Dag.edge_count r <= Dag.edge_count g
+      && Dag.edge_count g <= Dag.edge_count c)
+
+let qcheck_reduction_minimal =
+  QCheck.Test.make
+    ~name:"no edge of the transitive reduction is redundant" ~count:60
+    (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let r = Dag.transitive_reduction g in
+      let ok = ref true in
+      for e = 0 to Dag.edge_count r - 1 do
+        if Dag.is_transitively_redundant r e then ok := false
+      done;
+      !ok)
+
+let closure_cases =
+  ( "dag.transitive",
+    [
+      Alcotest.test_case "closure diamond" `Quick test_closure_diamond;
+      Alcotest.test_case "reduction shortcut" `Quick
+        test_reduction_removes_shortcut;
+      Alcotest.test_case "reduction keeps diamond" `Quick
+        test_reduction_keeps_diamond;
+      QCheck_alcotest.to_alcotest qcheck_reduction_preserves_reachability;
+      QCheck_alcotest.to_alcotest qcheck_reduction_minimal;
+    ] )
+
+let suite = suite @ [ closure_cases ]

@@ -1,0 +1,246 @@
+open Mcs_experiments
+module Strategy = Mcs_sched.Strategy
+module Prng = Mcs_prng.Prng
+
+let test_workload_draw_counts () =
+  let rng = Prng.create ~seed:1 in
+  List.iter
+    (fun family ->
+      let ptgs = Workload.draw rng family ~count:4 in
+      Alcotest.(check int)
+        (Workload.family_name family ^ " count")
+        4 (List.length ptgs);
+      List.iteri
+        (fun i p -> Alcotest.(check int) "ids in order" i p.Mcs_ptg.Ptg.id)
+        ptgs)
+    [
+      Workload.Random_mixed_scenarios;
+      Workload.Random_ptgs Mcs_taskmodel.Task.Class_matmul;
+      Workload.Fft_ptgs;
+      Workload.Strassen_ptgs;
+    ]
+
+let test_workload_strassen_family () =
+  let rng = Prng.create ~seed:2 in
+  let ptgs = Workload.draw rng Workload.Strassen_ptgs ~count:3 in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "25 tasks" 25 (Mcs_ptg.Ptg.task_count p))
+    ptgs
+
+let test_scenarios_shape_and_determinism () =
+  let s1 =
+    Sweep.scenarios ~family:Workload.Fft_ptgs ~count:3 ~runs:2 ~seed:7
+  in
+  let s2 =
+    Sweep.scenarios ~family:Workload.Fft_ptgs ~count:3 ~runs:2 ~seed:7
+  in
+  Alcotest.(check int) "2 runs x 4 platforms" 8 (List.length s1);
+  List.iter2
+    (fun (p1, ptgs1) (p2, ptgs2) ->
+      Alcotest.(check string) "same platform"
+        (Mcs_platform.Platform.name p1)
+        (Mcs_platform.Platform.name p2);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check (float 0.)) "same work" (Mcs_ptg.Ptg.work a)
+            (Mcs_ptg.Ptg.work b))
+        ptgs1 ptgs2)
+    s1 s2
+
+let test_runner_selfish_slowdowns_bounded () =
+  let platform = Mcs_platform.Grid5000.lille () in
+  let rng = Prng.create ~seed:3 in
+  let ptgs = Workload.draw rng Workload.Random_mixed_scenarios ~count:3 in
+  match Runner.evaluate platform ptgs [ Strategy.Selfish ] with
+  | [ r ] ->
+    Alcotest.(check int) "3 slowdowns" 3 (Array.length r.Runner.slowdowns);
+    Array.iter
+      (fun s ->
+        Alcotest.(check bool) "slowdown in (0, 1.05]" true (s > 0. && s <= 1.05))
+      r.Runner.slowdowns;
+    Alcotest.(check bool) "unfairness >= 0" true (r.Runner.unfairness >= 0.);
+    Alcotest.(check bool) "global >= avg" true
+      (r.Runner.global_makespan >= r.Runner.avg_makespan -. 1e-9)
+  | _ -> Alcotest.fail "expected one result"
+
+let test_runner_single_app_slowdown_one () =
+  (* Alone under Selfish, the concurrent run IS the dedicated run. *)
+  let platform = Mcs_platform.Grid5000.nancy () in
+  let rng = Prng.create ~seed:4 in
+  let ptgs = Workload.draw rng Workload.Random_mixed_scenarios ~count:1 in
+  match Runner.evaluate platform ptgs [ Strategy.Selfish ] with
+  | [ r ] ->
+    Alcotest.(check (float 1e-6)) "slowdown 1" 1. r.Runner.slowdowns.(0);
+    Alcotest.(check (float 1e-6)) "unfairness 0" 0. r.Runner.unfairness
+  | _ -> Alcotest.fail "expected one result"
+
+let test_runner_estimated_timing () =
+  let platform = Mcs_platform.Grid5000.rennes () in
+  let rng = Prng.create ~seed:5 in
+  let ptgs = Workload.draw rng Workload.Random_mixed_scenarios ~count:2 in
+  let est =
+    Runner.evaluate ~timing:Runner.Estimated platform ptgs [ Strategy.Equal_share ]
+  in
+  let sim =
+    Runner.evaluate ~timing:Runner.Simulated platform ptgs [ Strategy.Equal_share ]
+  in
+  match (est, sim) with
+  | [ e ], [ s ] ->
+    Alcotest.(check bool) "both computed" true
+      (e.Runner.global_makespan > 0. && s.Runner.global_makespan > 0.)
+  | _ -> Alcotest.fail "expected one result each"
+
+let test_table1_contents () =
+  let rendered = Mcs_util.Table.render (Table1.table ()) in
+  let contains sub =
+    let n = String.length sub in
+    let rec loop i =
+      i + n <= String.length rendered
+      && (String.sub rendered i n = sub || loop (i + 1))
+    in
+    loop 0
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("mentions " ^ s) true (contains s))
+    [ "Lille"; "Nancy"; "Rennes"; "Sophia"; "Grelon"; "4.603"; "20.2%" ]
+
+let test_figure1_illustration_shape () =
+  let rendered = Mcs_util.Table.render (Fig_ready_vs_global.illustration ()) in
+  Alcotest.(check bool) "non-empty" true (String.length rendered > 100)
+
+let test_constraint_audit_high_compliance () =
+  (* The paper reports ~99% compliance; require > 90% on a small draw. *)
+  let stats = Exp_constraint.compute ~runs:5 ~betas:[ 0.3; 0.6 ] () in
+  List.iter
+    (fun s ->
+      let ratio =
+        float_of_int s.Exp_constraint.level_ok
+        /. float_of_int s.Exp_constraint.scenarios
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "beta %.1f level compliance %.2f" s.Exp_constraint.beta
+           ratio)
+        true (ratio > 0.9))
+    stats
+
+let test_mu_sweep_endpoints_cover () =
+  let points =
+    Fig_mu_sweep.compute ~runs:1 ~counts:[ 4 ] ~mus:[ 0.; 1. ] ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "unfairness >= 0" true
+        (p.Fig_mu_sweep.unfairness >= 0.);
+      Alcotest.(check bool) "makespan > 0" true (p.Fig_mu_sweep.avg_makespan > 0.))
+    points
+
+let test_fig_strategies_small () =
+  let points =
+    Fig_strategies.compute ~runs:1 ~counts:[ 2 ]
+      ~family:Workload.Strassen_ptgs
+      ~strategies:[ Strategy.Selfish; Strategy.Equal_share ] ()
+  in
+  Alcotest.(check int) "2 strategies x 1 count" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "relative makespan >= 1" true
+        (p.Fig_strategies.relative_makespan >= 1. -. 1e-9))
+    points;
+  let tables = Fig_strategies.tables ~family:Workload.Strassen_ptgs points in
+  Alcotest.(check int) "two tables" 2 (List.length tables)
+
+let test_arrivals_table_shape () =
+  let t = Exp_arrivals.table ~runs:1 () in
+  let rendered = Mcs_util.Table.render t in
+  Alcotest.(check bool) "has strategies" true
+    (let contains sub =
+       let n = String.length sub in
+       let rec loop i =
+         i + n <= String.length rendered
+         && (String.sub rendered i n = sub || loop (i + 1))
+       in
+       loop 0
+     in
+     contains "S" && contains "WPS-width" && contains "10 PTGs")
+
+let test_single_ptg_expected_ordering () =
+  let stats = Exp_single_ptg.compute ~runs:1 () in
+  Alcotest.(check int) "four algorithms" 4 (List.length stats);
+  let find name =
+    List.find (fun s -> s.Exp_single_ptg.algorithm = name) stats
+  in
+  let heft = find "HEFT" and mheft = find "M-HEFT" in
+  (* Mixed parallelism must crush sequential-task scheduling. *)
+  Alcotest.(check bool) "heft much slower than m-heft" true
+    (heft.Exp_single_ptg.mean_relative_makespan
+    > 2. *. mheft.Exp_single_ptg.mean_relative_makespan);
+  (* And HEFT holds only one processor per task: efficiency near 1. *)
+  Alcotest.(check bool) "heft efficient" true
+    (heft.Exp_single_ptg.mean_efficiency > 0.9)
+
+let test_validation_errors_bounded () =
+  let stats = Exp_validation.compute ~runs:1 () in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Workload.family_name s.Exp_validation.family ^ " error finite")
+        true
+        (s.Exp_validation.mean_rel_error >= 0.
+        && s.Exp_validation.mean_rel_error < 10.))
+    stats
+
+let test_strassen_ps_width_equals_es () =
+  (* Width-based strategies are ES on fixed-shape Strassen PTGs. *)
+  let rng = Prng.create ~seed:6 in
+  let ptgs = Workload.draw rng Workload.Strassen_ptgs ~count:4 in
+  let es = Strategy.betas Strategy.Equal_share ~ref_speed:3. ptgs in
+  let psw =
+    Strategy.betas (Strategy.Proportional Strategy.Width) ~ref_speed:3. ptgs
+  in
+  Array.iteri
+    (fun i b -> Alcotest.(check (float 1e-9)) "identical betas" es.(i) b)
+    psw
+
+let suite =
+  [
+    ( "experiments.workload",
+      [
+        Alcotest.test_case "draw counts" `Quick test_workload_draw_counts;
+        Alcotest.test_case "strassen family" `Quick
+          test_workload_strassen_family;
+      ] );
+    ( "experiments.sweep",
+      [
+        Alcotest.test_case "scenarios shape & determinism" `Quick
+          test_scenarios_shape_and_determinism;
+      ] );
+    ( "experiments.runner",
+      [
+        Alcotest.test_case "selfish slowdowns" `Quick
+          test_runner_selfish_slowdowns_bounded;
+        Alcotest.test_case "single app slowdown 1" `Quick
+          test_runner_single_app_slowdown_one;
+        Alcotest.test_case "estimated timing" `Quick test_runner_estimated_timing;
+      ] );
+    ( "experiments.figures",
+      [
+        Alcotest.test_case "table 1" `Quick test_table1_contents;
+        Alcotest.test_case "figure 1 illustration" `Quick
+          test_figure1_illustration_shape;
+        Alcotest.test_case "constraint audit" `Slow
+          test_constraint_audit_high_compliance;
+        Alcotest.test_case "mu sweep endpoints" `Slow
+          test_mu_sweep_endpoints_cover;
+        Alcotest.test_case "strategies figure (small)" `Slow
+          test_fig_strategies_small;
+        Alcotest.test_case "strassen width = ES" `Quick
+          test_strassen_ps_width_equals_es;
+        Alcotest.test_case "arrivals table" `Slow test_arrivals_table_shape;
+        Alcotest.test_case "single-ptg ordering" `Slow
+          test_single_ptg_expected_ordering;
+        Alcotest.test_case "validation bounded" `Slow
+          test_validation_errors_bounded;
+      ] );
+  ]

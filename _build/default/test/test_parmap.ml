@@ -1,0 +1,52 @@
+open Mcs_util
+
+let test_matches_list_map () =
+  let l = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "same result"
+    (List.map (fun x -> x * x) l)
+    (Parmap.map (fun x -> x * x) l)
+
+let test_order_preserved_multi_domain () =
+  let l = List.init 500 Fun.id in
+  Alcotest.(check (list int)) "ordered"
+    (List.map (fun x -> x + 1) l)
+    (Parmap.map ~domains:4 (fun x -> x + 1) l)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parmap.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int)) "one" [ 7 ]
+    (Parmap.map ~domains:4 (fun x -> x) [ 7 ])
+
+exception Boom
+
+let test_exception_propagates () =
+  Alcotest.check_raises "raises" Boom (fun () ->
+      ignore
+        (Parmap.map ~domains:3
+           (fun x -> if x = 13 then raise Boom else x)
+           (List.init 50 Fun.id)))
+
+let test_domain_count_positive () =
+  Alcotest.(check bool) "at least one" true (Parmap.domain_count () >= 1)
+
+let qcheck_parmap_equals_map =
+  QCheck.Test.make ~name:"Parmap.map agrees with List.map" ~count:50
+    QCheck.(pair (list small_int) (int_range 1 6))
+    (fun (l, domains) ->
+      Parmap.map ~domains (fun x -> (2 * x) - 1) l
+      = List.map (fun x -> (2 * x) - 1) l)
+
+let suite =
+  [
+    ( "util.parmap",
+      [
+        Alcotest.test_case "matches List.map" `Quick test_matches_list_map;
+        Alcotest.test_case "order with domains" `Quick
+          test_order_preserved_multi_domain;
+        Alcotest.test_case "empty/singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "domain count" `Quick test_domain_count_positive;
+        QCheck_alcotest.to_alcotest qcheck_parmap_equals_map;
+      ] );
+  ]

@@ -1,0 +1,683 @@
+module Platform = Mcs_platform.Platform
+module Grid5000 = Mcs_platform.Grid5000
+module Task = Mcs_taskmodel.Task
+module Ptg = Mcs_ptg.Ptg
+module Builder = Mcs_ptg.Builder
+module Prng = Mcs_prng.Prng
+open Mcs_sched
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let toy_platform ?(procs = 4) ?(gflops = 1.) () =
+  Platform.make ~name:"toy"
+    [ { Platform.cluster_name = "c0"; procs; gflops; switch = 0 } ]
+
+let two_cluster_platform () =
+  Platform.make ~name:"duo"
+    [
+      { Platform.cluster_name = "slow"; procs = 8; gflops = 1.; switch = 0 };
+      { Platform.cluster_name = "fast"; procs = 4; gflops = 2.; switch = 0 };
+    ]
+
+let seconds_task ?(alpha = 0.) seconds =
+  Task.make ~data:(seconds *. 1e9) ~complexity:(Stencil 1.) ~alpha
+
+let chain ?(id = 0) ?(alpha = 0.) durations =
+  let tasks = Array.of_list (List.map (seconds_task ~alpha) durations) in
+  let edges =
+    List.init (Array.length tasks - 1) (fun i -> (i, i + 1, 0.))
+  in
+  Builder.build ~id ~name:"chain" ~tasks ~edges
+
+let random_ptg ?(tasks = 20) seed =
+  let rng = Prng.create ~seed in
+  Mcs_ptg.Random_gen.generate rng
+    { Mcs_ptg.Random_gen.default with tasks }
+
+(* ---------- Reference cluster ---------- *)
+
+let test_ref_of_platform () =
+  let p = two_cluster_platform () in
+  let r = Reference_cluster.of_platform p in
+  check_float "speed is slowest" 1. r.Reference_cluster.speed;
+  (* total power 8*1 + 4*2 = 16 GFlop/s -> 16 reference processors. *)
+  Alcotest.(check int) "procs" 16 r.Reference_cluster.procs
+
+let test_ref_translate () =
+  let p = two_cluster_platform () in
+  let r = Reference_cluster.of_platform p in
+  (* 4 reference procs at speed 1 = 4 procs on the slow cluster,
+     2 on the fast one. *)
+  Alcotest.(check int) "slow" 4 (Reference_cluster.translate r p ~cluster:0 4);
+  Alcotest.(check int) "fast" 2 (Reference_cluster.translate r p ~cluster:1 4);
+  (* At least one processor even for tiny allocations. *)
+  Alcotest.(check int) "min one" 1 (Reference_cluster.translate r p ~cluster:1 1);
+  (* Clamped to cluster size. *)
+  Alcotest.(check int) "clamped" 8
+    (Reference_cluster.translate r p ~cluster:0 100)
+
+let test_ref_fits_and_max () =
+  let p = two_cluster_platform () in
+  let r = Reference_cluster.of_platform p in
+  Alcotest.(check bool) "8 fits slow" true
+    (Reference_cluster.fits r p ~cluster:0 8);
+  Alcotest.(check bool) "9 does not fit slow" false
+    (Reference_cluster.fits r p ~cluster:0 9);
+  (* fast cluster: p_k=4, s_k=2: fits while round(p/2) <= 4, i.e., p <= 8. *)
+  Alcotest.(check bool) "8 fits fast" true
+    (Reference_cluster.fits r p ~cluster:1 8);
+  let cap = Reference_cluster.max_allocation r p in
+  Alcotest.(check bool) "cap fits somewhere" true
+    (Reference_cluster.fits r p ~cluster:0 cap
+    || Reference_cluster.fits r p ~cluster:1 cap);
+  Alcotest.(check bool) "cap+1 fits nowhere" true
+    (cap = r.Reference_cluster.procs
+    || ((not (Reference_cluster.fits r p ~cluster:0 (cap + 1)))
+       && not (Reference_cluster.fits r p ~cluster:1 (cap + 1))))
+
+let test_ref_exec_time () =
+  let r = Reference_cluster.make ~speed:2. ~procs:10 in
+  let t = seconds_task ~alpha:0.5 10. in
+  (* 1e10 flops at 2 GFlop/s = 5 s sequential; amdahl alpha .5, p=2:
+     5*(0.5+0.25)=3.75 *)
+  check_float "exec" 3.75 (Reference_cluster.exec_time r t ~procs:2);
+  check_float "virtual is free" 0.
+    (Reference_cluster.exec_time r Task.zero ~procs:5)
+
+(* ---------- Allocation ---------- *)
+
+let test_allocation_respects_beta_budget () =
+  let p = toy_platform ~procs:10 () in
+  let r = Reference_cluster.of_platform p in
+  (* A fork of 4 parallel tasks; beta = 0.5 -> per-level budget 5. *)
+  let tasks = Array.init 4 (fun _ -> seconds_task ~alpha:0.05 10.) in
+  let ptg = Builder.build ~id:0 ~name:"fork4" ~tasks ~edges:[] in
+  let result = Allocation.allocate r p ~beta:0.5 ptg in
+  let usage = Allocation.level_usage ptg result.Allocation.procs in
+  Array.iter
+    (fun u -> Alcotest.(check bool) "level within budget" true (u <= 5))
+    usage;
+  Alcotest.(check bool) "constraint check agrees" true
+    (Allocation.respects_level_constraint r ~beta:0.5 ptg
+       result.Allocation.procs)
+
+let test_allocation_selfish_uses_more () =
+  let p = toy_platform ~procs:32 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = chain ~alpha:0.05 [ 50.; 50.; 50. ] in
+  let constrained = Allocation.allocate r p ~beta:0.1 ptg in
+  let selfish = Allocation.allocate r p ~beta:1.0 ptg in
+  let total a = Array.fold_left ( + ) 0 a.Allocation.procs in
+  Alcotest.(check bool)
+    (Printf.sprintf "selfish %d > constrained %d" (total selfish)
+       (total constrained))
+    true
+    (total selfish > total constrained);
+  Alcotest.(check bool) "selfish cp shorter" true
+    (selfish.Allocation.critical_path <= constrained.Allocation.critical_path)
+
+let test_allocation_minimum_one_proc () =
+  let p = toy_platform ~procs:100 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg 42 in
+  let result = Allocation.allocate r p ~beta:0.01 ptg in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "at least 1" true (a >= 1))
+    result.Allocation.procs
+
+let test_allocation_reduces_critical_path () =
+  let p = toy_platform ~procs:64 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = chain ~alpha:0.02 [ 100. ] in
+  let result = Allocation.allocate r p ~beta:1. ptg in
+  Alcotest.(check bool) "got more than one processor" true
+    (Array.exists (fun a -> a > 1) result.Allocation.procs);
+  Alcotest.(check bool) "cp below sequential" true
+    (result.Allocation.critical_path < 100.)
+
+let test_allocation_beta_validation () =
+  let p = toy_platform () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = chain [ 1. ] in
+  List.iter
+    (fun beta ->
+      Alcotest.(check bool)
+        (Printf.sprintf "beta=%g rejected" beta)
+        true
+        (try
+           ignore (Allocation.allocate r p ~beta ptg);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.; -0.5; 1.5 ]
+
+let test_scrap_vs_scrap_max () =
+  (* SCRAP has no per-level cap: on a wide level it may pack allocation
+     into few tasks beyond the budget; SCRAP-MAX may not. *)
+  let p = toy_platform ~procs:16 () in
+  let r = Reference_cluster.of_platform p in
+  let tasks = Array.init 2 (fun _ -> seconds_task ~alpha:0.01 100.) in
+  let ptg = Builder.build ~id:0 ~name:"fork2" ~tasks ~edges:[] in
+  let beta = 0.25 in
+  (* budget = 4 *)
+  let smax = Allocation.allocate ~procedure:Allocation.Scrap_max r p ~beta ptg in
+  Alcotest.(check bool) "scrap-max within level budget" true
+    (Allocation.respects_level_constraint r ~beta ptg smax.Allocation.procs)
+
+let qcheck_scrap_max_levels =
+  QCheck.Test.make
+    ~name:"SCRAP-MAX: per-level usage within budget on random PTGs"
+    ~count:60
+    QCheck.(pair (int_range 0 5000) (oneofl [ 0.1; 0.2; 0.5; 0.8; 1.0 ]))
+    (fun (seed, beta) ->
+      let p = Grid5000.lille () in
+      let r = Reference_cluster.of_platform p in
+      let ptg = random_ptg seed in
+      let result = Allocation.allocate r p ~beta ptg in
+      Allocation.respects_level_constraint r ~beta ptg result.Allocation.procs)
+
+let qcheck_allocation_capped =
+  QCheck.Test.make
+    ~name:"allocations never exceed the translatable maximum" ~count:40
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let p = Grid5000.sophia () in
+      let r = Reference_cluster.of_platform p in
+      let cap = Reference_cluster.max_allocation r p in
+      let ptg = random_ptg seed in
+      let result = Allocation.allocate r p ~beta:1. ptg in
+      Array.for_all (fun a -> a >= 1 && a <= cap) result.Allocation.procs)
+
+(* ---------- Strategy ---------- *)
+
+let sample_ptgs () = [ random_ptg 1; random_ptg 2; random_ptg ~tasks:50 3 ]
+
+let test_strategy_selfish () =
+  let betas = Strategy.betas Strategy.Selfish ~ref_speed:1. (sample_ptgs ()) in
+  Array.iter (fun b -> check_float "beta 1" 1. b) betas
+
+let test_strategy_equal_share () =
+  let betas =
+    Strategy.betas Strategy.Equal_share ~ref_speed:1. (sample_ptgs ())
+  in
+  Array.iter (fun b -> check_float "beta 1/3" (1. /. 3.) b) betas
+
+let test_strategy_proportional_sums_to_one () =
+  List.iter
+    (fun metric ->
+      let betas =
+        Strategy.betas (Strategy.Proportional metric) ~ref_speed:1.
+          (sample_ptgs ())
+      in
+      check_float "sums to 1" 1. (Mcs_util.Floatx.sum betas))
+    [ Strategy.Cp; Strategy.Width; Strategy.Work ]
+
+let test_strategy_weighted_endpoints () =
+  let ptgs = sample_ptgs () in
+  let ps = Strategy.betas (Strategy.Proportional Strategy.Work) ~ref_speed:1. ptgs in
+  let w0 =
+    Strategy.betas (Strategy.Weighted (Strategy.Work, 0.)) ~ref_speed:1. ptgs
+  in
+  let w1 =
+    Strategy.betas (Strategy.Weighted (Strategy.Work, 1.)) ~ref_speed:1. ptgs
+  in
+  Array.iteri (fun i b -> check_float "mu=0 is PS" ps.(i) b) w0;
+  Array.iter (fun b -> check_float "mu=1 is ES" (1. /. 3.) b) w1
+
+let test_strategy_weighted_formula () =
+  let ptgs = sample_ptgs () in
+  let mu = 0.7 in
+  let ps = Strategy.betas (Strategy.Proportional Strategy.Work) ~ref_speed:1. ptgs in
+  let w =
+    Strategy.betas (Strategy.Weighted (Strategy.Work, mu)) ~ref_speed:1. ptgs
+  in
+  Array.iteri
+    (fun i b ->
+      check_float "eq 2" ((mu /. 3.) +. ((1. -. mu) *. ps.(i))) b)
+    w
+
+let test_strategy_work_gamma_orders () =
+  (* The 50-task PTG has more work than 20-task ones: larger beta. *)
+  let betas =
+    Strategy.betas (Strategy.Proportional Strategy.Work) ~ref_speed:1.
+      (sample_ptgs ())
+  in
+  Alcotest.(check bool) "big ptg gets more" true
+    (betas.(2) > betas.(0) && betas.(2) > betas.(1))
+
+let test_strategy_validation () =
+  Alcotest.(check bool) "empty list" true
+    (try
+       ignore (Strategy.betas Strategy.Selfish ~ref_speed:1. []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mu out of range" true
+    (try
+       ignore
+         (Strategy.betas (Strategy.Weighted (Strategy.Work, 1.5)) ~ref_speed:1.
+            (sample_ptgs ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_strategy_names () =
+  Alcotest.(check string) "S" "S" (Strategy.name Strategy.Selfish);
+  Alcotest.(check string) "ES" "ES" (Strategy.name Strategy.Equal_share);
+  Alcotest.(check string) "PS-cp" "PS-cp"
+    (Strategy.name (Strategy.Proportional Strategy.Cp));
+  Alcotest.(check string) "WPS name" "WPS-work(0.7)"
+    (Strategy.name (Strategy.Weighted (Strategy.Work, 0.7)));
+  Alcotest.(check string) "short" "WPS-work"
+    (Strategy.short_name (Strategy.Weighted (Strategy.Work, 0.7)));
+  Alcotest.(check int) "eight strategies" 8 (List.length Strategy.paper_eight);
+  Alcotest.(check int) "six strategies" 6 (List.length Strategy.paper_six)
+
+let qcheck_betas_in_range =
+  QCheck.Test.make ~name:"betas always lie in (0, 1]" ~count:60
+    QCheck.(pair (int_range 0 1000) (oneofl [ 0.; 0.3; 0.5; 0.7; 1.0 ]))
+    (fun (seed, mu) ->
+      let ptgs =
+        List.init 5 (fun i -> random_ptg ((seed * 5) + i))
+      in
+      List.for_all
+        (fun strategy ->
+          let betas = Strategy.betas strategy ~ref_speed:3. ptgs in
+          Array.for_all (fun b -> b > 0. && b <= 1.) betas)
+        [
+          Strategy.Selfish; Strategy.Equal_share;
+          Strategy.Proportional Strategy.Cp;
+          Strategy.Proportional Strategy.Width;
+          Strategy.Proportional Strategy.Work;
+          Strategy.Weighted (Strategy.Cp, mu);
+          Strategy.Weighted (Strategy.Width, mu);
+          Strategy.Weighted (Strategy.Work, mu);
+        ])
+
+(* ---------- Mapper & Schedule ---------- *)
+
+let schedule_random ?(options = List_mapper.default_options) ?(napps = 3)
+    ~platform seed =
+  let ptgs = List.init napps (fun i -> random_ptg ((seed * 10) + i)) in
+  let r = Reference_cluster.of_platform platform in
+  let apps =
+    List.map
+      (fun ptg ->
+        let a = Allocation.allocate r platform ~beta:(1. /. float_of_int napps) ptg in
+        (ptg, a.Allocation.procs))
+      ptgs
+  in
+  List_mapper.run ~options platform r apps
+
+let test_mapper_valid_schedules () =
+  let platform = Grid5000.rennes () in
+  let schedules = schedule_random ~platform 7 in
+  match Schedule.validate ~platform schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message
+
+let test_mapper_deterministic () =
+  let platform = Grid5000.nancy () in
+  let s1 = schedule_random ~platform 9 in
+  let s2 = schedule_random ~platform 9 in
+  List.iter2
+    (fun a b ->
+      check_float "same makespan" a.Schedule.makespan b.Schedule.makespan)
+    s1 s2
+
+let test_mapper_single_app_entry_starts_at_zero () =
+  let platform = toy_platform ~procs:8 () in
+  let r = Reference_cluster.of_platform platform in
+  let ptg = chain [ 5.; 3. ] in
+  let schedules = List_mapper.run platform r [ (ptg, [| 1; 1 |]) ] in
+  let sched = List.hd schedules in
+  check_float "starts at 0" 0. (Schedule.placement sched 0).Schedule.start;
+  check_float "makespan 8" 8. sched.Schedule.makespan
+
+let test_mapper_backfill_valid_and_fills_holes () =
+  let platform = Grid5000.rennes () in
+  let schedules =
+    schedule_random ~platform
+      ~options:{ List_mapper.default_options with ordering = Global_backfill }
+      11
+  in
+  (match Schedule.validate ~platform schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message);
+  (* Backfilling must beat plain FCFS's global makespan here (packing
+     off on both sides: batch reservations are rigid). *)
+  let fcfs =
+    schedule_random ~platform
+      ~options:{ List_mapper.ordering = Global_fcfs; packing = false }
+      11
+  in
+  let global scheds =
+    List.fold_left (fun acc s -> Float.max acc s.Schedule.makespan) 0. scheds
+  in
+  Alcotest.(check bool) "backfill <= fcfs" true
+    (global schedules <= global fcfs +. 1e-6)
+
+let test_mapper_backfill_small_ptg_not_postponed () =
+  let platform = toy_platform ~procs:2 () in
+  let r = Reference_cluster.of_platform platform in
+  let big = chain ~id:0 ~alpha:1. [ 10.; 8.; 6.; 4. ] in
+  let small = chain ~id:1 ~alpha:1. [ 1.; 1. ] in
+  let alloc ptg = Array.make (Ptg.node_count ptg) 1 in
+  let schedules =
+    List_mapper.run
+      ~options:{ List_mapper.default_options with ordering = Global_backfill }
+      platform r
+      [ (big, alloc big); (small, alloc small) ]
+  in
+  check_float "small slides into the hole" 2.
+    (List.nth schedules 1).Schedule.makespan
+
+let test_mapper_figure1_ready_not_postponed () =
+  let platform = toy_platform ~procs:2 () in
+  let r = Reference_cluster.of_platform platform in
+  let big = chain ~id:0 ~alpha:1. [ 10.; 8.; 6.; 4. ] in
+  let small = chain ~id:1 ~alpha:1. [ 1.; 1. ] in
+  let alloc ptg = Array.make (Ptg.node_count ptg) 1 in
+  let run options =
+    List_mapper.run ~options platform r
+      [ (big, alloc big); (small, alloc small) ]
+  in
+  let ready = run { List_mapper.default_options with ordering = Ready_tasks } in
+  let fcfs = run { List_mapper.default_options with ordering = Global_fcfs } in
+  check_float "ready: small done at 2" 2. (List.nth ready 1).Schedule.makespan;
+  Alcotest.(check bool) "fcfs: small postponed" true
+    ((List.nth fcfs 1).Schedule.makespan > 20.)
+
+let test_mapper_packing_shrinks_delayed_task () =
+  (* One running task holds 3 of 4 processors until t=10; the next task
+     is allocated 2 processors but can run on 1 immediately. With
+     alpha=1 the execution time is allocation-independent, so packing
+     must shrink it and start at 0 on the free processor. *)
+  let platform = toy_platform ~procs:4 () in
+  let r = Reference_cluster.of_platform platform in
+  let blocker = chain ~id:0 ~alpha:0.30 [ 30. ] in
+  let seq = chain ~id:1 ~alpha:1. [ 5. ] in
+  let blocker_alloc = Array.make (Ptg.node_count blocker) 3 in
+  let seq_alloc = Array.make (Ptg.node_count seq) 2 in
+  let run packing =
+    List_mapper.run
+      ~options:{ List_mapper.default_options with packing }
+      platform r
+      [ (blocker, blocker_alloc); (seq, seq_alloc) ]
+  in
+  let with_packing = run true in
+  let without_packing = run false in
+  let seq_pl sched = Schedule.placement (List.nth sched 1) 0 in
+  check_float "packing: starts immediately" 0. (seq_pl with_packing).Schedule.start;
+  Alcotest.(check int) "packing: shrunk to 1 proc" 1
+    (Array.length (seq_pl with_packing).Schedule.procs);
+  Alcotest.(check bool) "no packing: delayed" true
+    ((seq_pl without_packing).Schedule.start > 0.)
+
+let test_mapper_prefers_faster_cluster () =
+  let platform = two_cluster_platform () in
+  let r = Reference_cluster.of_platform platform in
+  let ptg = chain ~alpha:1. [ 10. ] in
+  let schedules = List_mapper.run platform r [ (ptg, [| 1 |]) ] in
+  let pl = Schedule.placement (List.hd schedules) 0 in
+  (* Fully sequential task: the 2 GFlop/s cluster halves the time. *)
+  Alcotest.(check int) "fast cluster" 1 pl.Schedule.cluster;
+  check_float "5 seconds" 5. (pl.Schedule.finish -. pl.Schedule.start)
+
+let test_mapper_respects_dependencies_and_comm () =
+  let platform = two_cluster_platform () in
+  let r = Reference_cluster.of_platform platform in
+  (* Two tasks with a fat edge: if they land on different processor
+     sets, the successor starts after the transfer estimate. *)
+  let tasks = [| seconds_task ~alpha:0. 10.; seconds_task ~alpha:0. 10. |] in
+  let ptg =
+    Builder.build ~id:0 ~name:"comm" ~tasks ~edges:[ (0, 1, 1.25e9) ]
+  in
+  let schedules = List_mapper.run platform r [ (ptg, [| 4; 4 |]) ] in
+  let sched = List.hd schedules in
+  let p0 = Schedule.placement sched 0 and p1 = Schedule.placement sched 1 in
+  Alcotest.(check bool) "succ after pred" true
+    (p1.Schedule.start >= p0.Schedule.finish -. 1e-9)
+
+let test_mapper_rejects_bad_input () =
+  let platform = toy_platform () in
+  let r = Reference_cluster.of_platform platform in
+  Alcotest.(check bool) "no apps" true
+    (try
+       ignore (List_mapper.run platform r []);
+       false
+     with Invalid_argument _ -> true);
+  let ptg = chain [ 1. ] in
+  Alcotest.(check bool) "wrong alloc size" true
+    (try
+       ignore (List_mapper.run platform r [ (ptg, [| 1; 1; 1 |]) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "alloc < 1" true
+    (try
+       ignore (List_mapper.run platform r [ (ptg, [| 0 |]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_mapper_schedules_valid =
+  QCheck.Test.make
+    ~name:"mapper produces valid concurrent schedules on all platforms"
+    ~count:30
+    QCheck.(pair (int_range 0 2000) (int_range 1 3))
+    (fun (seed, platform_idx) ->
+      let platform = List.nth (Grid5000.all ()) platform_idx in
+      let schedules = schedule_random ~platform ~napps:4 seed in
+      match Schedule.validate ~platform schedules with
+      | Ok () -> true
+      | Error _ -> false)
+
+let qcheck_packing_never_hurts_makespan =
+  QCheck.Test.make
+    ~name:"per-task: packing never worsens the global makespan by >25%"
+    ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let platform = Grid5000.lille () in
+      let on =
+        schedule_random ~platform
+          ~options:{ List_mapper.default_options with packing = true }
+          seed
+      in
+      let off =
+        schedule_random ~platform
+          ~options:{ List_mapper.default_options with packing = false }
+          seed
+      in
+      let global scheds =
+        List.fold_left (fun acc s -> Float.max acc s.Schedule.makespan) 0. scheds
+      in
+      (* Packing is a local heuristic: allow limited degradation but
+         catch systematic regressions. *)
+      global on <= global off *. 1.25 +. 1e-6)
+
+(* ---------- Schedule validation itself ---------- *)
+
+let test_validate_catches_overlap () =
+  let platform = toy_platform ~procs:2 () in
+  let mk_sched start =
+    let ptg = chain [ 5. ] in
+    let placements =
+      [|
+        { Schedule.node = 0; cluster = 0; procs = [| 0 |]; start;
+          finish = start +. 5. };
+      |]
+    in
+    Schedule.make ~ptg ~placements
+  in
+  (match Schedule.validate ~platform [ mk_sched 0.; mk_sched 2. ] with
+  | Ok () -> Alcotest.fail "overlap not caught"
+  | Error _ -> ());
+  match Schedule.validate ~platform [ mk_sched 0.; mk_sched 5. ] with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail ("back-to-back flagged: " ^ v.Schedule.message)
+
+let test_validate_catches_precedence () =
+  let platform = toy_platform ~procs:2 () in
+  let ptg = chain [ 2.; 2. ] in
+  let placements =
+    [|
+      { Schedule.node = 0; cluster = 0; procs = [| 0 |]; start = 0.; finish = 2. };
+      { Schedule.node = 1; cluster = 0; procs = [| 1 |]; start = 1.; finish = 3. };
+    |]
+  in
+  match Schedule.validate ~platform [ Schedule.make ~ptg ~placements ] with
+  | Ok () -> Alcotest.fail "precedence violation not caught"
+  | Error _ -> ()
+
+let test_validate_catches_empty_procs () =
+  let platform = toy_platform () in
+  let ptg = chain [ 2. ] in
+  let placements =
+    [| { Schedule.node = 0; cluster = 0; procs = [||]; start = 0.; finish = 2. } |]
+  in
+  match Schedule.validate ~platform [ Schedule.make ~ptg ~placements ] with
+  | Ok () -> Alcotest.fail "real task without processors not caught"
+  | Error _ -> ()
+
+let test_cluster_busy_and_efficiency () =
+  let platform = two_cluster_platform () in
+  let ptg = chain ~alpha:0. [ 8. ] in
+  (* One fully-parallel task on 2 procs of the fast (2 GFlop/s) cluster:
+     8e9 flops -> 2 s on 2x2 GFlop/s. *)
+  let placements =
+    [|
+      { Schedule.node = 0; cluster = 1; procs = [| 8; 9 |]; start = 0.;
+        finish = 2. };
+    |]
+  in
+  let sched = Schedule.make ~ptg ~placements in
+  let busy = Schedule.cluster_busy_time ~platform [ sched ] in
+  check_float "slow cluster idle" 0. busy.(0);
+  check_float "fast cluster busy" 4. busy.(1);
+  (* capacity = 2 s x 4 GFlop/s = 8e9 flops = work: efficiency 1. *)
+  check_float "perfect efficiency" 1.
+    (Schedule.parallel_efficiency ~platform sched)
+
+let test_busy_time_and_power () =
+  let platform = toy_platform ~procs:4 ~gflops:2. () in
+  let ptg = chain [ 2. ] in
+  let placements =
+    [|
+      { Schedule.node = 0; cluster = 0; procs = [| 0; 1 |]; start = 0.;
+        finish = 3. };
+    |]
+  in
+  let sched = Schedule.make ~ptg ~placements in
+  check_float "busy" 6. (Schedule.busy_time sched);
+  (* 3 s on 2 procs of 2 GFlop/s over a 3 s makespan -> 4 GFlop/s. *)
+  check_float "avg power" 4. (Schedule.used_power_avg sched ~platform)
+
+(* ---------- Pipeline ---------- *)
+
+let test_pipeline_end_to_end () =
+  let platform = Grid5000.lille () in
+  let ptgs = List.init 4 (fun i -> random_ptg (100 + i)) in
+  let schedules =
+    Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share platform ptgs
+  in
+  Alcotest.(check int) "one schedule per app" 4 (List.length schedules);
+  (match Schedule.validate ~platform schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message);
+  let prepared =
+    Pipeline.prepare ~strategy:Strategy.Equal_share platform ptgs
+  in
+  Array.iter (fun b -> check_float "es beta" 0.25 b) prepared.Pipeline.betas
+
+let test_pipeline_alone_no_slower_than_shared () =
+  let platform = Grid5000.nancy () in
+  let ptg = random_ptg 55 in
+  let alone = Pipeline.schedule_alone platform ptg in
+  let shared =
+    List.hd
+      (Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share platform
+         [ ptg; random_ptg 56; random_ptg 57 ])
+  in
+  Alcotest.(check bool) "alone is at least as fast" true
+    (alone.Schedule.makespan <= shared.Schedule.makespan +. 1e-6)
+
+let suite =
+  [
+    ( "sched.reference_cluster",
+      [
+        Alcotest.test_case "of_platform" `Quick test_ref_of_platform;
+        Alcotest.test_case "translate" `Quick test_ref_translate;
+        Alcotest.test_case "fits & max_allocation" `Quick test_ref_fits_and_max;
+        Alcotest.test_case "exec_time" `Quick test_ref_exec_time;
+      ] );
+    ( "sched.allocation",
+      [
+        Alcotest.test_case "beta budget" `Quick
+          test_allocation_respects_beta_budget;
+        Alcotest.test_case "selfish uses more" `Quick
+          test_allocation_selfish_uses_more;
+        Alcotest.test_case "minimum one proc" `Quick
+          test_allocation_minimum_one_proc;
+        Alcotest.test_case "reduces critical path" `Quick
+          test_allocation_reduces_critical_path;
+        Alcotest.test_case "beta validation" `Quick
+          test_allocation_beta_validation;
+        Alcotest.test_case "scrap vs scrap-max" `Quick test_scrap_vs_scrap_max;
+        QCheck_alcotest.to_alcotest qcheck_scrap_max_levels;
+        QCheck_alcotest.to_alcotest qcheck_allocation_capped;
+      ] );
+    ( "sched.strategy",
+      [
+        Alcotest.test_case "selfish" `Quick test_strategy_selfish;
+        Alcotest.test_case "equal share" `Quick test_strategy_equal_share;
+        Alcotest.test_case "proportional sums" `Quick
+          test_strategy_proportional_sums_to_one;
+        Alcotest.test_case "weighted endpoints" `Quick
+          test_strategy_weighted_endpoints;
+        Alcotest.test_case "weighted formula" `Quick
+          test_strategy_weighted_formula;
+        Alcotest.test_case "work ordering" `Quick
+          test_strategy_work_gamma_orders;
+        Alcotest.test_case "validation" `Quick test_strategy_validation;
+        Alcotest.test_case "names" `Quick test_strategy_names;
+        QCheck_alcotest.to_alcotest qcheck_betas_in_range;
+      ] );
+    ( "sched.mapper",
+      [
+        Alcotest.test_case "valid schedules" `Quick test_mapper_valid_schedules;
+        Alcotest.test_case "deterministic" `Quick test_mapper_deterministic;
+        Alcotest.test_case "single app timing" `Quick
+          test_mapper_single_app_entry_starts_at_zero;
+        Alcotest.test_case "figure 1 orderings" `Quick
+          test_mapper_figure1_ready_not_postponed;
+        Alcotest.test_case "backfill validity" `Quick
+          test_mapper_backfill_valid_and_fills_holes;
+        Alcotest.test_case "backfill fills holes" `Quick
+          test_mapper_backfill_small_ptg_not_postponed;
+        Alcotest.test_case "packing shrinks delayed task" `Quick
+          test_mapper_packing_shrinks_delayed_task;
+        Alcotest.test_case "prefers faster cluster" `Quick
+          test_mapper_prefers_faster_cluster;
+        Alcotest.test_case "dependencies & comm" `Quick
+          test_mapper_respects_dependencies_and_comm;
+        Alcotest.test_case "input validation" `Quick
+          test_mapper_rejects_bad_input;
+        QCheck_alcotest.to_alcotest qcheck_mapper_schedules_valid;
+        QCheck_alcotest.to_alcotest qcheck_packing_never_hurts_makespan;
+      ] );
+    ( "sched.schedule",
+      [
+        Alcotest.test_case "overlap detection" `Quick
+          test_validate_catches_overlap;
+        Alcotest.test_case "precedence detection" `Quick
+          test_validate_catches_precedence;
+        Alcotest.test_case "empty procs detection" `Quick
+          test_validate_catches_empty_procs;
+        Alcotest.test_case "cluster busy & efficiency" `Quick
+          test_cluster_busy_and_efficiency;
+        Alcotest.test_case "busy time & power" `Quick test_busy_time_and_power;
+      ] );
+    ( "sched.pipeline",
+      [
+        Alcotest.test_case "end to end" `Quick test_pipeline_end_to_end;
+        Alcotest.test_case "alone vs shared" `Quick
+          test_pipeline_alone_no_slower_than_shared;
+      ] );
+  ]

@@ -1,0 +1,86 @@
+module Grid5000 = Mcs_platform.Grid5000
+module Prng = Mcs_prng.Prng
+open Mcs_sched
+
+let schedules () =
+  let platform = Grid5000.lille () in
+  let rng = Prng.create ~seed:12 in
+  let ptgs =
+    List.init 2 (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+  in
+  Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share platform ptgs
+
+let count_char c s =
+  String.fold_left (fun acc x -> if x = c then acc + 1 else acc) 0 s
+
+let test_csv_rows () =
+  let scheds = schedules () in
+  let csv = Trace.to_csv scheds in
+  let expected_rows =
+    List.fold_left
+      (fun acc s ->
+        acc + Mcs_dag.Dag.node_count s.Schedule.ptg.Mcs_ptg.Ptg.dag)
+      0 scheds
+  in
+  (* header + one line per placement *)
+  Alcotest.(check int) "row count" (expected_rows + 1) (count_char '\n' csv);
+  Alcotest.(check bool) "has header" true
+    (String.length csv > 3 && String.sub csv 0 3 = "app")
+
+let test_csv_cells_parse () =
+  let csv = Trace.to_csv (schedules ()) in
+  let lines = String.split_on_char '\n' csv in
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then begin
+        let cells = String.split_on_char ',' line in
+        Alcotest.(check int) "9 cells" 9 (List.length cells);
+        let start = float_of_string (List.nth cells 7) in
+        let finish = float_of_string (List.nth cells 8) in
+        Alcotest.(check bool) "finish >= start" true (finish >= start)
+      end)
+    lines
+
+let test_json_balanced_and_parsable_shape () =
+  let json = Trace.to_json (schedules ()) in
+  Alcotest.(check int) "braces balanced" (count_char '{' json)
+    (count_char '}' json);
+  Alcotest.(check int) "brackets balanced" (count_char '[' json)
+    (count_char ']' json);
+  Alcotest.(check bool) "top-level object" true
+    (json.[0] = '{' && json.[String.length json - 1] = '}')
+
+let test_json_escaping () =
+  (* A PTG name with quotes must be escaped. *)
+  let platform = Grid5000.lille () in
+  let ptg =
+    Mcs_ptg.Builder.build ~id:0 ~name:"we\"ird\\name"
+      ~tasks:
+        [|
+          Mcs_taskmodel.Task.make ~data:1e7 ~complexity:Matmul ~alpha:0.1;
+        |]
+      ~edges:[]
+  in
+  let sched = Pipeline.schedule_alone platform ptg in
+  let json = Trace.to_json [ sched ] in
+  let contains sub =
+    let n = String.length sub in
+    let rec loop i =
+      i + n <= String.length json && (String.sub json i n = sub || loop (i + 1))
+    in
+    loop 0
+  in
+  Alcotest.(check bool) "escaped quote" true (contains "we\\\"ird\\\\name")
+
+let suite =
+  [
+    ( "sched.trace",
+      [
+        Alcotest.test_case "csv rows" `Quick test_csv_rows;
+        Alcotest.test_case "csv cells" `Quick test_csv_cells_parse;
+        Alcotest.test_case "json shape" `Quick
+          test_json_balanced_and_parsable_shape;
+        Alcotest.test_case "json escaping" `Quick test_json_escaping;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+open Mcs_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_sum_kahan () =
+  check_float "sum of many small" 1.
+    (Floatx.sum (Array.make 1_000_000 1e-6));
+  check_float "empty sum" 0. (Floatx.sum [||]);
+  check_float "sum list" 6. (Floatx.sum_list [ 1.; 2.; 3. ])
+
+let test_mean_stddev () =
+  check_float "mean" 2. (Floatx.mean [| 1.; 2.; 3. |]);
+  check_float "mean empty" 0. (Floatx.mean [||]);
+  check_float "stddev" 1. (Floatx.stddev [| 1.; 2.; 3. |]);
+  check_float "stddev singleton" 0. (Floatx.stddev [| 5. |])
+
+let test_median () =
+  check_float "odd" 2. (Floatx.median [| 3.; 1.; 2. |]);
+  check_float "even" 2.5 (Floatx.median [| 4.; 1.; 2.; 3. |]);
+  check_float "empty" 0. (Floatx.median [||])
+
+let test_minmax () =
+  check_float "min" 1. (Floatx.minimum [| 3.; 1.; 2. |]);
+  check_float "max" 3. (Floatx.maximum [| 3.; 1.; 2. |]);
+  Alcotest.check_raises "min empty"
+    (Invalid_argument "Floatx.minimum: empty array") (fun () ->
+      ignore (Floatx.minimum [||]))
+
+let test_clamp () =
+  check_float "below" 0. (Floatx.clamp ~lo:0. ~hi:1. (-3.));
+  check_float "above" 1. (Floatx.clamp ~lo:0. ~hi:1. 3.);
+  check_float "inside" 0.5 (Floatx.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_tolerant_cmp () =
+  Alcotest.(check bool) "le within eps" true Floatx.(1. <=. (1. -. 1e-12));
+  Alcotest.(check bool) "lt beyond eps" true Floatx.(1. <. 1.1);
+  Alcotest.(check bool) "lt within eps is false" false
+    Floatx.(1. <. (1. +. 1e-12));
+  Alcotest.(check bool) "approx_eq relative" true
+    (Floatx.approx_eq 1e12 (1e12 +. 1.) ~tol:1e-9)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  let drained = List.init 7 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_peek_clear () =
+  let h = Heap.of_list ~cmp:compare [ 3; 1; 2 ] in
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "peek does not pop" 3 (Heap.length h);
+  Heap.clear h;
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_custom_cmp () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 1; 3; 2 ];
+  Alcotest.(check int) "max first" 3 (Heap.pop_exn h)
+
+let test_heap_to_list () =
+  let h = Heap.of_list ~cmp:compare [ 2; 1; 3 ] in
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ]
+    (List.sort compare (Heap.to_list h));
+  Alcotest.(check int) "unchanged" 3 (Heap.length h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.of_list ~cmp:compare l in
+      let drained = List.init (List.length l) (fun _ -> Heap.pop_exn h) in
+      drained = List.sort compare l)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "T");
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Table.add_row: 3 cells for 2 columns") (fun () ->
+      Table.add_row t [ "x"; "y"; "z" ])
+
+let test_table_float_row () =
+  let t = Table.create ~title:"T" ~header:[ "k"; "v" ] in
+  let t = Table.add_float_row t "pi" [ 3.14159 ] in
+  Alcotest.(check bool) "rendered value" true
+    (let r = Table.render t in
+     let contains s sub =
+       let n = String.length sub in
+       let rec loop i =
+         i + n <= String.length s && (String.sub s i n = sub || loop (i + 1))
+       in
+       loop 0
+     in
+     contains r "3.142");
+  Alcotest.(check string) "nan formats as dash" "-" (Table.fmt_float nan)
+
+let suite =
+  [
+    ( "util.floatx",
+      [
+        Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+        Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+        Alcotest.test_case "median" `Quick test_median;
+        Alcotest.test_case "min/max" `Quick test_minmax;
+        Alcotest.test_case "clamp" `Quick test_clamp;
+        Alcotest.test_case "tolerant comparisons" `Quick test_tolerant_cmp;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_order;
+        Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
+        Alcotest.test_case "custom comparison" `Quick test_heap_custom_cmp;
+        Alcotest.test_case "to_list" `Quick test_heap_to_list;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "float rows" `Quick test_table_float_row;
+      ] );
+  ]
