@@ -86,7 +86,67 @@ let micro_tests () =
              ignore
                (Pipeline.schedule_concurrent ~strategy:Strategy.Equal_share
                   platform ptgs)));
+      Test.make ~name:"online-engine-6apps-es"
+        (Staged.stage
+           (let apps = List.mapi (fun i p -> (p, 15. *. float_of_int i)) ptgs in
+            let policy = Mcs_online.Policy.make Strategy.Equal_share in
+            fun () -> ignore (Mcs_online.Engine.run ~policy platform apps)));
     ]
+
+(* ---------- Online engine throughput ---------- *)
+
+(* Events/sec and rescheduling cost of the event-driven online engine
+   (lib/online) on Poisson-arrival scenarios of growing size. Each row
+   aggregates the engine's own counters with wall-clock time: the
+   rescheduling cost shows up both as remapped placements per reschedule
+   and as the mean wall time of one reschedule. *)
+let run_online () =
+  let platform = Mcs_platform.Grid5000.rennes () in
+  let policy = Mcs_online.Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let table =
+    Mcs_util.Table.create ~title:"online engine (WPS-work, Poisson mean 30 s)"
+      ~header:
+        [
+          "apps"; "events"; "events/s"; "reschedules"; "remap/resched";
+          "wall"; "wall/resched";
+        ]
+  in
+  List.iter
+    (fun count ->
+      let rng = Mcs_prng.Prng.create ~seed:(97 + count) in
+      let ptgs =
+        List.init count (fun id ->
+            Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+      in
+      let clock = ref 0. in
+      let apps =
+        List.mapi
+          (fun i ptg ->
+            if i > 0 then
+              clock := !clock +. Mcs_prng.Prng.exponential rng ~mean:30.;
+            (ptg, !clock))
+          ptgs
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Mcs_online.Engine.run ~policy platform apps in
+      let wall = Unix.gettimeofday () -. t0 in
+      let s = r.Mcs_online.Engine.stats in
+      let ev = s.Mcs_online.Engine.events_processed in
+      let resched = s.Mcs_online.Engine.reschedules in
+      Mcs_util.Table.add_row table
+        [
+          string_of_int count;
+          string_of_int ev;
+          Printf.sprintf "%.0f" (float_of_int ev /. wall);
+          string_of_int resched;
+          Printf.sprintf "%.1f"
+            (float_of_int s.Mcs_online.Engine.remapped_tasks
+            /. float_of_int (max 1 resched));
+          Printf.sprintf "%.1f ms" (wall *. 1e3);
+          Printf.sprintf "%.2f ms" (wall *. 1e3 /. float_of_int (max 1 resched));
+        ])
+    [ 2; 4; 6; 8; 10; 16 ];
+  Mcs_util.Table.print table
 
 let run_micro () =
   let open Bechamel in
@@ -145,6 +205,8 @@ let artefacts =
     ("x4", fun () -> Mcs_util.Table.print (E.Exp_validation.table ()));
     ("x5", fun () -> Mcs_util.Table.print (E.Exp_arrivals.table ()));
     ("x6", fun () -> Mcs_util.Table.print (E.Exp_single_ptg.table ()));
+    ("x7", fun () -> Mcs_util.Table.print (E.Exp_online.table ()));
+    ("online", run_online);
     ("micro", run_micro);
   ]
 
@@ -162,6 +224,8 @@ let titles =
     ("x4", "X4 — validation: estimated vs simulated makespans");
     ("x5", "X5 — extension: staggered submission times (future work, Section 8)");
     ("x6", "X6 — extension: single-PTG algorithm families (HEFT / M-HEFT / HCPA)");
+    ("x7", "X7 — extension: online dynamic β vs offline approximation");
+    ("online", "Online engine — event throughput and rescheduling cost");
     ("micro", "Microbenchmarks");
   ]
 

@@ -1,0 +1,160 @@
+(* Online scheduling CLI: draw a scenario with Poisson arrivals, run the
+   event-driven engine, and stream one JSON log line per event (JSONL)
+   to stdout for observability tooling, followed by a summary line.
+   Optional CSV/JSON trace export includes the release times. *)
+
+open Cmdliner
+module Strategy = Mcs_sched.Strategy
+module Schedule = Mcs_sched.Schedule
+module Workload = Mcs_experiments.Workload
+module Engine = Mcs_online.Engine
+module Policy = Mcs_online.Policy
+module Log = Mcs_online.Log
+
+let parse_strategy = function
+  | "S" -> Ok Strategy.Selfish
+  | "ES" -> Ok Strategy.Equal_share
+  | "PS-cp" -> Ok (Strategy.Proportional Strategy.Cp)
+  | "PS-width" -> Ok (Strategy.Proportional Strategy.Width)
+  | "PS-work" -> Ok (Strategy.Proportional Strategy.Work)
+  | "WPS-cp" -> Ok (Strategy.Weighted (Strategy.Cp, Strategy.paper_mu Strategy.Cp))
+  | "WPS-width" ->
+    Ok (Strategy.Weighted (Strategy.Width, Strategy.paper_mu Strategy.Width))
+  | "WPS-work" ->
+    Ok (Strategy.Weighted (Strategy.Work, Strategy.paper_mu Strategy.Work))
+  | s -> Error ("unknown strategy " ^ s)
+
+let parse_family = function
+  | "random" -> Ok Workload.Random_mixed_scenarios
+  | "fft" -> Ok Workload.Fft_ptgs
+  | "strassen" -> Ok Workload.Strassen_ptgs
+  | s -> Error ("unknown family " ^ s)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
+
+let run site strategy family count seed mean_interarrival static csv json
+    gantt =
+  let platform =
+    match Mcs_platform.Grid5000.by_name site with
+    | Some p -> p
+    | None ->
+      prerr_endline ("unknown site: " ^ site ^ " (lille|nancy|rennes|sophia)");
+      exit 2
+  in
+  let strategy =
+    match parse_strategy strategy with
+    | Ok s -> s
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let family =
+    match parse_family family with
+    | Ok f -> f
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
+  let rng = Mcs_prng.Prng.create ~seed in
+  let ptgs = Workload.draw rng family ~count in
+  let release = Array.make count 0. in
+  let clock = ref 0. in
+  List.iteri
+    (fun i _ ->
+      if i > 0 then begin
+        clock := !clock +. Mcs_prng.Prng.exponential rng ~mean:mean_interarrival;
+        release.(i) <- !clock
+      end)
+    ptgs;
+  let apps = List.mapi (fun i ptg -> (ptg, release.(i))) ptgs in
+  let policy =
+    if static then Policy.static strategy else Policy.make strategy
+  in
+  let log e = print_endline (Log.to_json e) in
+  let r = Engine.run ~log ~policy platform apps in
+  (match Schedule.validate ~platform r.Engine.schedules with
+  | Ok () -> ()
+  | Error v ->
+    prerr_endline ("internal error, invalid schedule: " ^ v.Schedule.message);
+    exit 1);
+  let join fmt a =
+    String.concat "," (Array.to_list (Array.map fmt a))
+  in
+  Printf.printf
+    "{\"event\":\"summary\",\"strategy\":\"%s\",\"site\":\"%s\",\
+     \"apps\":%d,\"releases\":[%s],\"betas\":[%s],\"responses\":[%s],\
+     \"events_processed\":%d,\"events_pushed\":%d,\"reschedules\":%d,\
+     \"remapped_tasks\":%d}\n"
+    (Strategy.name strategy) site count
+    (join (Printf.sprintf "%.17g") release)
+    (join (Printf.sprintf "%.17g") r.Engine.betas)
+    (join (Printf.sprintf "%.17g") r.Engine.responses)
+    r.Engine.stats.Engine.events_processed
+    r.Engine.stats.Engine.events_pushed r.Engine.stats.Engine.reschedules
+    r.Engine.stats.Engine.remapped_tasks;
+  if gantt then
+    prerr_string (Schedule.gantt ~platform r.Engine.schedules);
+  (match csv with
+  | Some path ->
+    write_file path (Mcs_sched.Trace.to_csv ~release r.Engine.schedules)
+  | None -> ());
+  match json with
+  | Some path ->
+    write_file path (Mcs_sched.Trace.to_json ~release r.Engine.schedules)
+  | None -> ()
+
+let site =
+  Arg.(value & opt string "rennes"
+       & info [ "site" ] ~doc:"lille, nancy, rennes or sophia")
+
+let strategy =
+  Arg.(value & opt string "WPS-work"
+       & info [ "strategy" ]
+           ~doc:"S, ES, PS-cp, PS-width, PS-work, WPS-cp, WPS-width, WPS-work")
+
+let family =
+  Arg.(value & opt string "random"
+       & info [ "family" ] ~doc:"random, fft or strassen")
+
+let count =
+  Arg.(value & opt int 4 & info [ "count" ] ~doc:"submitted applications")
+
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed")
+
+let mean_interarrival =
+  Arg.(value & opt float 30.
+       & info [ "mean-interarrival" ]
+           ~doc:"mean of the Poisson inter-arrival times, seconds")
+
+let static =
+  Arg.(value & flag
+       & info [ "static" ]
+           ~doc:"recompute beta on arrivals only (no departure backfilling)")
+
+let csv =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~doc:"export the schedules as CSV to this path")
+
+let json =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~doc:"export the schedules as JSON to this path")
+
+let gantt =
+  Arg.(value & flag
+       & info [ "gantt" ] ~doc:"print a text Gantt chart to stderr")
+
+let cmd =
+  let doc =
+    "run the event-driven online scheduler and stream JSON event logs"
+  in
+  Cmd.v
+    (Cmd.info "mcs_online" ~doc)
+    Term.(
+      const run $ site $ strategy $ family $ count $ seed $ mean_interarrival
+      $ static $ csv $ json $ gantt)
+
+let () = exit (Cmd.eval cmd)

@@ -7,7 +7,11 @@
     response times (completion − submission) and the slowdown baseline
     M_own stays the dedicated-platform run, as in the paper. β is
     computed over the full submission set (an offline approximation of
-    the dynamic recomputation the paper leaves open — see DESIGN.md). *)
+    the dynamic recomputation the paper leaves open — see DESIGN.md).
+    {!Exp_online} runs the same scenarios through the event-driven
+    engine of {!Mcs_online.Engine}, which recomputes β over the active
+    applications at each arrival/departure and so removes this
+    approximation; its table carries both modes side by side. *)
 
 type point = {
   strategy : Mcs_sched.Strategy.t;

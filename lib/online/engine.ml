@@ -1,0 +1,211 @@
+module Ptg = Mcs_ptg.Ptg
+module Schedule = Mcs_sched.Schedule
+module Pipeline = Mcs_sched.Pipeline
+module List_mapper = Mcs_sched.List_mapper
+module Allocation = Mcs_sched.Allocation
+module Floatx = Mcs_util.Floatx
+
+type stats = {
+  events_processed : int;
+  events_pushed : int;
+  reschedules : int;
+  remapped_tasks : int;
+}
+
+type result = {
+  schedules : Schedule.t list;
+  betas : float array;
+  completions : float array;
+  responses : float array;
+  stats : stats;
+}
+
+(* Trigger merging for a batch of simultaneous events: an arrival always
+   forces a reschedule; a departure or task finish only per policy. *)
+let trigger_rank = function
+  | "arrival" -> 2
+  | "departure" -> 1
+  | _ -> 0
+
+let merge_trigger cur cand =
+  match cur with
+  | None -> Some cand
+  | Some t -> if trigger_rank cand > trigger_rank t then Some cand else cur
+
+let run ?log ~policy platform apps =
+  let state = State.create platform apps in
+  let q = Event_queue.create () in
+  let emit e = match log with Some f -> f e | None -> () in
+  let processed = ref 0 in
+  Array.iter
+    (fun app ->
+      Event_queue.push q ~time:app.State.release ~version:0
+        (Event_queue.Arrival app.State.index))
+    state.State.apps;
+  (* Announce the future of every active application under the current
+     schedule generation: one finish event per still-running or
+     not-yet-started real task, one departure per application. Events of
+     earlier generations become stale and are dropped on pop. *)
+  let announce () =
+    List.iter
+      (fun app ->
+        let exit = Ptg.exit app.State.ptg in
+        Array.iteri
+          (fun v pl ->
+            match pl with
+            | None -> ()
+            | Some pl ->
+              if v = exit then
+                Event_queue.push q
+                  ~time:(Float.max pl.Schedule.finish state.State.now)
+                  ~version:state.State.version
+                  (Event_queue.Departure app.State.index)
+              else if
+                (not (Ptg.is_virtual app.State.ptg v))
+                && pl.Schedule.finish > state.State.now
+              then
+                Event_queue.push q ~time:pl.Schedule.finish
+                  ~version:state.State.version
+                  (Event_queue.Task_finish { app = app.State.index; node = v }))
+          app.State.placements)
+      (State.active state)
+  in
+  let reschedule ~trigger =
+    match State.active state with
+    | [] -> ()
+    | active ->
+      let ptgs = List.map (fun a -> a.State.ptg) active in
+      let prepared =
+        Pipeline.prepare ~config:policy.Policy.config
+          ~strategy:policy.Policy.strategy platform ptgs
+      in
+      List.iteri
+        (fun j app -> app.State.beta <- prepared.Pipeline.betas.(j))
+        active;
+      let inputs =
+        List.mapi
+          (fun j app ->
+            (app.State.ptg, prepared.Pipeline.allocations.(j).Allocation.procs))
+          active
+      in
+      let pinned =
+        Array.of_list (List.map (fun app -> State.pinned_of state app) active)
+      in
+      let release = Array.make (List.length active) state.State.now in
+      let avail = State.proc_avail state in
+      let schedules =
+        List_mapper.run ~options:policy.Policy.config.Pipeline.mapper ~release
+          ~pinned ~avail platform state.State.ref_cluster inputs
+      in
+      let frozen =
+        Array.fold_left
+          (fun acc per_app ->
+            Array.fold_left
+              (fun acc pl -> if pl = None then acc else acc + 1)
+              acc per_app)
+          0 pinned
+      in
+      let total = ref 0 in
+      List.iter2
+        (fun app sched ->
+          total := !total + Array.length sched.Schedule.placements;
+          app.State.placements <-
+            Array.map Option.some sched.Schedule.placements)
+        active schedules;
+      let remapped = !total - frozen in
+      state.State.version <- state.State.version + 1;
+      state.State.reschedules <- state.State.reschedules + 1;
+      state.State.remapped_tasks <- state.State.remapped_tasks + remapped;
+      announce ();
+      emit
+        (Log.Reschedule
+           {
+             time = state.State.now;
+             trigger;
+             betas =
+               List.map (fun app -> (app.State.index, app.State.beta)) active;
+             remapped;
+             pinned = frozen;
+           })
+  in
+  let stale ev =
+    match ev.Event_queue.kind with
+    | Event_queue.Arrival _ -> false
+    | Event_queue.Task_finish _ | Event_queue.Departure _ ->
+      ev.Event_queue.version <> state.State.version
+  in
+  let handle ev trigger =
+    incr processed;
+    match ev.Event_queue.kind with
+    | Event_queue.Arrival i ->
+      let app = state.State.apps.(i) in
+      app.State.status <- State.Active;
+      emit
+        (Log.Arrival
+           {
+             time = ev.Event_queue.time;
+             app = i;
+             name = app.State.ptg.Ptg.name;
+             tasks = Ptg.task_count app.State.ptg;
+           });
+      trigger := merge_trigger !trigger "arrival"
+    | Event_queue.Task_finish { app; node } ->
+      emit (Log.Task_finish { time = ev.Event_queue.time; app; node });
+      if policy.Policy.reschedule_on_task_finish then
+        trigger := merge_trigger !trigger "task_finish"
+    | Event_queue.Departure i ->
+      let app = state.State.apps.(i) in
+      app.State.status <- State.Completed;
+      app.State.completion <- ev.Event_queue.time;
+      emit
+        (Log.Departure
+           {
+             time = ev.Event_queue.time;
+             app = i;
+             response = ev.Event_queue.time -. app.State.release;
+           });
+      if policy.Policy.reschedule_on_departure then
+        trigger := merge_trigger !trigger "departure"
+  in
+  let rec loop () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some ev when stale ev -> loop ()
+    | Some ev ->
+      state.State.now <- ev.Event_queue.time;
+      let trigger = ref None in
+      handle ev trigger;
+      (* Drain every simultaneous event before rescheduling once, so β
+         is recomputed over the post-batch set of active applications
+         (the queue orders finishes before departures before arrivals
+         at equal times). *)
+      let rec drain_batch () =
+        match Event_queue.peek q with
+        | Some e when e.Event_queue.time <= state.State.now +. Floatx.eps ->
+          let e = Option.get (Event_queue.pop q) in
+          if not (stale e) then handle e trigger;
+          drain_batch ()
+        | Some _ | None -> ()
+      in
+      drain_batch ();
+      (match !trigger with
+      | Some trigger -> reschedule ~trigger
+      | None -> ());
+      loop ()
+  in
+  loop ();
+  let apps = state.State.apps in
+  {
+    schedules = State.schedules state;
+    betas = Array.map (fun app -> app.State.beta) apps;
+    completions = Array.map (fun app -> app.State.completion) apps;
+    responses =
+      Array.map (fun app -> app.State.completion -. app.State.release) apps;
+    stats =
+      {
+        events_processed = !processed;
+        events_pushed = Event_queue.pushed q;
+        reschedules = state.State.reschedules;
+        remapped_tasks = state.State.remapped_tasks;
+      };
+  }

@@ -1,0 +1,55 @@
+(** Event-driven online scheduler (the paper's Section 8 future work).
+
+    The engine runs a discrete-event loop in virtual time over three
+    event kinds: application {e arrivals}, {e task finishes} and
+    application {e departures}. On each arrival — and, per
+    {!Policy.t}, on departures and task finishes — the resource
+    constraints β are recomputed with the chosen strategy over the set
+    of {e currently active} applications only (arrived, not completed:
+    an online scheduler cannot know the future submission stream), each
+    active application is re-allocated under its new β, and every
+    {e unstarted} task is remapped by the concurrent list mapper onto
+    the partially-occupied platform. Tasks that have started are pinned:
+    their placements are frozen and their processors stay busy until
+    their estimated finish ({!Mcs_sched.List_mapper.run}'s [pinned] /
+    [avail] extension). Departures free processors, so with
+    [reschedule_on_departure] the survivors' unstarted tasks backfill
+    onto the released share.
+
+    Execution follows the mapper's own time estimates (the engine is
+    both scheduler and clock); the resulting schedules are ordinary
+    {!Mcs_sched.Schedule.t} values that can be validated and replayed
+    through the fluid network model ({!Mcs_sim.Replay}) for simulated
+    timings, exactly like offline schedules.
+
+    With {!Policy.static} and every arrival at time 0 the engine
+    reschedules exactly once over the full set, and its schedules
+    coincide, placement for placement, with
+    {!Mcs_sched.Pipeline.schedule_concurrent}. *)
+
+type stats = {
+  events_processed : int;  (** non-stale events handled by the loop *)
+  events_pushed : int;     (** total queue insertions, stale included *)
+  reschedules : int;
+  remapped_tasks : int;    (** placements recomputed over the whole run *)
+}
+
+type result = {
+  schedules : Mcs_sched.Schedule.t list;  (** in submission order *)
+  betas : float array;        (** final β of each application *)
+  completions : float array;  (** virtual completion times *)
+  responses : float array;    (** completion − release *)
+  stats : stats;
+}
+
+val run :
+  ?log:(Log.event -> unit) ->
+  policy:Policy.t ->
+  Mcs_platform.Platform.t ->
+  (Mcs_ptg.Ptg.t * float) list ->
+  result
+(** [run ~policy platform apps] executes the submission stream [apps]
+    (each PTG paired with its release time, any order of times) to
+    completion. [log] receives every event in virtual-time order.
+    @raise Invalid_argument on an empty list or an ill-formed release
+    time. *)

@@ -1,0 +1,48 @@
+type kind =
+  | Arrival of int
+  | Task_finish of { app : int; node : int }
+  | Departure of int
+
+type event = {
+  time : float;
+  version : int;
+  kind : kind;
+}
+
+type entry = {
+  ev : event;
+  seq : int;
+}
+
+let kind_rank = function Task_finish _ -> 0 | Departure _ -> 1 | Arrival _ -> 2
+
+let entry_cmp a b =
+  let c = Float.compare a.ev.time b.ev.time in
+  if c <> 0 then c
+  else begin
+    let c = compare (kind_rank a.ev.kind) (kind_rank b.ev.kind) in
+    if c <> 0 then c else compare a.seq b.seq
+  end
+
+type t = {
+  heap : entry Mcs_util.Heap.t;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Mcs_util.Heap.create ~cmp:entry_cmp; next_seq = 0 }
+
+let push t ~time ~version kind =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Event_queue.push: ill-formed time";
+  Mcs_util.Heap.push t.heap { ev = { time; version; kind }; seq = t.next_seq };
+  t.next_seq <- t.next_seq + 1
+
+let pop t = Option.map (fun e -> e.ev) (Mcs_util.Heap.pop t.heap)
+
+let peek t = Option.map (fun e -> e.ev) (Mcs_util.Heap.peek t.heap)
+
+let is_empty t = Mcs_util.Heap.is_empty t.heap
+
+let length t = Mcs_util.Heap.length t.heap
+
+let pushed t = t.next_seq

@@ -1,0 +1,46 @@
+(** Deterministic event queue of the online engine.
+
+    Three event kinds drive the engine: an application {e arrival}, the
+    {e finish} of one real task, and an application {e departure} (the
+    finish of its virtual exit node, i.e. its completion). Events are
+    totally ordered by (time, kind, insertion sequence) so that a run is
+    reproducible regardless of heap internals: at equal times, task
+    finishes are observed before departures, and departures before
+    arrivals — an arrival-triggered rescheduling thus sees every
+    simultaneous completion as already done.
+
+    Task-finish and departure events are invalidated by rescheduling
+    (the engine re-announces the future of every active application
+    after each β recomputation). Instead of searching the queue, events
+    carry the schedule {e version} they were announced under; the engine
+    drops, on pop, any finish/departure whose version is stale. *)
+
+type kind =
+  | Arrival of int  (** application index *)
+  | Task_finish of { app : int; node : int }
+  | Departure of int  (** application index *)
+
+type event = {
+  time : float;
+  version : int;  (** schedule generation the event was announced under *)
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val push : t -> time:float -> version:int -> kind -> unit
+(** @raise Invalid_argument on a negative or non-finite time. *)
+
+val pop : t -> event option
+
+val peek : t -> event option
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val pushed : t -> int
+(** Total number of events ever pushed — the event-throughput counter
+    reported by the benchmarks. *)

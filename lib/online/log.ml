@@ -1,0 +1,59 @@
+type event =
+  | Arrival of { time : float; app : int; name : string; tasks : int }
+  | Reschedule of {
+      time : float;
+      trigger : string;
+      betas : (int * float) list;
+      remapped : int;
+      pinned : int;
+    }
+  | Task_finish of { time : float; app : int; node : int }
+  | Departure of { time : float; app : int; response : float }
+
+let time = function
+  | Arrival { time; _ }
+  | Reschedule { time; _ }
+  | Task_finish { time; _ }
+  | Departure { time; _ } -> time
+
+(* Same defensive escaping as Trace: the only free strings are PTG
+   names, which the generators control. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json = function
+  | Arrival { time; app; name; tasks } ->
+    Printf.sprintf
+      "{\"event\":\"arrival\",\"time\":%.17g,\"app\":%d,\"name\":\"%s\",\
+       \"tasks\":%d}"
+      time app (escape name) tasks
+  | Reschedule { time; trigger; betas; remapped; pinned } ->
+    Printf.sprintf
+      "{\"event\":\"reschedule\",\"time\":%.17g,\"trigger\":\"%s\",\
+       \"betas\":{%s},\"remapped\":%d,\"pinned\":%d}"
+      time trigger
+      (String.concat ","
+         (List.map
+            (fun (app, beta) -> Printf.sprintf "\"%d\":%.17g" app beta)
+            betas))
+      remapped pinned
+  | Task_finish { time; app; node } ->
+    Printf.sprintf
+      "{\"event\":\"task_finish\",\"time\":%.17g,\"app\":%d,\"node\":%d}" time
+      app node
+  | Departure { time; app; response } ->
+    Printf.sprintf
+      "{\"event\":\"departure\",\"time\":%.17g,\"app\":%d,\"response\":%.17g}"
+      time app response

@@ -1,0 +1,33 @@
+(** Structured event log of the online engine.
+
+    One record per engine event, serialisable as a single JSON line
+    (JSONL) for external observability tooling — the format streamed by
+    [bin/mcs_online_cli]. The encoder is hand-rolled like
+    {!Mcs_sched.Trace} (no dependency); times are printed with
+    round-trip precision. *)
+
+type event =
+  | Arrival of {
+      time : float;
+      app : int;
+      name : string;
+      tasks : int;  (** real tasks of the PTG *)
+    }
+  | Reschedule of {
+      time : float;
+      trigger : string;  (** "arrival", "departure" or "task_finish" *)
+      betas : (int * float) list;  (** active application → new β *)
+      remapped : int;  (** placements recomputed *)
+      pinned : int;  (** placements frozen (started/finished) *)
+    }
+  | Task_finish of { time : float; app : int; node : int }
+  | Departure of {
+      time : float;
+      app : int;
+      response : float;  (** completion − release *)
+    }
+
+val time : event -> float
+
+val to_json : event -> string
+(** One-line JSON object with an ["event"] discriminator field. *)

@@ -1,0 +1,17 @@
+type t = {
+  strategy : Mcs_sched.Strategy.t;
+  config : Mcs_sched.Pipeline.config;
+  reschedule_on_departure : bool;
+  reschedule_on_task_finish : bool;
+}
+
+let make ?(config = Mcs_sched.Pipeline.default_config) strategy =
+  {
+    strategy;
+    config;
+    reschedule_on_departure = true;
+    reschedule_on_task_finish = false;
+  }
+
+let static ?config strategy =
+  { (make ?config strategy) with reschedule_on_departure = false }

@@ -1,0 +1,31 @@
+(** Rescheduling policy of the online engine.
+
+    Every arrival recomputes β over the currently-active applications
+    and remaps their unstarted tasks — that part is not optional, it is
+    the point of the engine. The policy decides what else triggers a
+    recomputation:
+
+    - [reschedule_on_departure] — when an application completes, its β
+      share is redistributed among the survivors and their unstarted
+      tasks are remapped onto the freed processors (backfilling). On by
+      default; turning it off makes the t=0-arrivals case coincide
+      exactly with the offline pipeline (see {!Engine.run}).
+    - [reschedule_on_task_finish] — additionally remap after every task
+      completion. Much more aggressive (O(tasks) reschedules per run);
+      off by default, exposed for experimentation.
+
+    [config] carries the allocation procedure and mapper options, as in
+    the offline {!Mcs_sched.Pipeline}. *)
+
+type t = {
+  strategy : Mcs_sched.Strategy.t;
+  config : Mcs_sched.Pipeline.config;
+  reschedule_on_departure : bool;
+  reschedule_on_task_finish : bool;
+}
+
+val make : ?config:Mcs_sched.Pipeline.config -> Mcs_sched.Strategy.t -> t
+(** Dynamic-β policy: reschedule on arrivals and departures. *)
+
+val static : ?config:Mcs_sched.Pipeline.config -> Mcs_sched.Strategy.t -> t
+(** Arrival-only rescheduling (no departure/task-finish triggers). *)

@@ -1,0 +1,102 @@
+module Ptg = Mcs_ptg.Ptg
+module P = Mcs_platform.Platform
+module Schedule = Mcs_sched.Schedule
+module Floatx = Mcs_util.Floatx
+
+type status = Pending | Active | Completed
+
+type app = {
+  index : int;
+  ptg : Ptg.t;
+  release : float;
+  mutable status : status;
+  mutable beta : float;
+  mutable placements : Schedule.placement option array;
+  mutable completion : float;
+}
+
+type t = {
+  platform : P.t;
+  ref_cluster : Mcs_sched.Reference_cluster.t;
+  apps : app array;
+  mutable now : float;
+  mutable version : int;
+  mutable reschedules : int;
+  mutable remapped_tasks : int;
+}
+
+let create platform apps =
+  if apps = [] then invalid_arg "State.create: no applications";
+  let apps =
+    Array.of_list
+      (List.mapi
+         (fun index (ptg, release) ->
+           if not (Float.is_finite release) || release < 0. then
+             invalid_arg "State.create: ill-formed release time";
+           {
+             index;
+             ptg;
+             release;
+             status = Pending;
+             beta = Float.nan;
+             placements = Array.make (Ptg.node_count ptg) None;
+             completion = Float.nan;
+           })
+         apps)
+  in
+  {
+    platform;
+    ref_cluster = Mcs_sched.Reference_cluster.of_platform platform;
+    apps;
+    now = 0.;
+    version = 0;
+    reschedules = 0;
+    remapped_tasks = 0;
+  }
+
+let active t =
+  Array.fold_right
+    (fun app acc -> if app.status = Active then app :: acc else acc)
+    t.apps []
+
+let pinned_of t app =
+  Array.map
+    (fun pl ->
+      match pl with
+      | Some p when p.Schedule.start <= t.now +. Floatx.eps -> Some p
+      | Some _ | None -> None)
+    app.placements
+
+let proc_avail t =
+  let avail = Array.make (P.total_procs t.platform) t.now in
+  Array.iter
+    (fun app ->
+      if app.status = Active then
+        Array.iter
+          (fun pl ->
+            match pl with
+            | Some pl
+              when pl.Schedule.start <= t.now +. Floatx.eps
+                   && pl.Schedule.finish > t.now ->
+              Array.iter
+                (fun p -> avail.(p) <- Float.max avail.(p) pl.Schedule.finish)
+                pl.Schedule.procs
+            | Some _ | None -> ())
+          app.placements)
+    t.apps;
+  avail
+
+let schedules t =
+  Array.to_list
+    (Array.map
+       (fun app ->
+         let placements =
+           Array.map
+             (fun pl ->
+               match pl with
+               | Some p -> p
+               | None -> invalid_arg "State.schedules: unscheduled task")
+             app.placements
+         in
+         Schedule.make ~ptg:app.ptg ~placements)
+       t.apps)

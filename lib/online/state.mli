@@ -1,0 +1,57 @@
+(** Mutable world state of the online engine.
+
+    The state tracks, at the engine's virtual time [now], every
+    submitted application with its lifecycle status, current β, and
+    current schedule (a placement per DAG node, [None] until the
+    application is first scheduled). The split between {e pinned} and
+    {e remappable} placements is purely temporal: a placement whose
+    start is at or before [now] has begun (or finished) and can no
+    longer be revoked; everything strictly in the future is up for
+    rescheduling. *)
+
+type status = Pending | Active | Completed
+
+type app = {
+  index : int;  (** position in the submission list *)
+  ptg : Mcs_ptg.Ptg.t;
+  release : float;  (** submission time *)
+  mutable status : status;
+  mutable beta : float;  (** last β assigned; [nan] before arrival *)
+  mutable placements : Mcs_sched.Schedule.placement option array;
+  mutable completion : float;  (** exit finish time; [nan] until done *)
+}
+
+type t = {
+  platform : Mcs_platform.Platform.t;
+  ref_cluster : Mcs_sched.Reference_cluster.t;
+  apps : app array;  (** in submission order *)
+  mutable now : float;
+  mutable version : int;  (** schedule generation, bumped per reschedule *)
+  mutable reschedules : int;
+  mutable remapped_tasks : int;  (** placements recomputed, cumulative *)
+}
+
+val create : Mcs_platform.Platform.t -> (Mcs_ptg.Ptg.t * float) list -> t
+(** One state per engine run; applications keep their list order.
+    @raise Invalid_argument on an empty list or a negative/non-finite
+    release time. *)
+
+val active : t -> app list
+(** Applications that have arrived and not yet completed, in submission
+    order — the set β is recomputed over. *)
+
+val pinned_of : t -> app -> Mcs_sched.Schedule.placement option array
+(** Placements of [app] that have started (start ≤ now): the frozen
+    part handed to {!Mcs_sched.List_mapper.run} as [pinned]. All-[None]
+    for an application that has never been scheduled. *)
+
+val proc_avail : t -> float array
+(** Per-processor availability: [max now (finish of running work)] —
+    the [avail] profile for partial rescheduling. Processors without
+    running work are free from [now] (mapping into the past is
+    impossible either way). *)
+
+val schedules : t -> Mcs_sched.Schedule.t list
+(** Final schedules in submission order.
+    @raise Invalid_argument if some application was never fully
+    scheduled (the engine only calls this once every app completed). *)

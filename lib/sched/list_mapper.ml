@@ -351,7 +351,8 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
       }
   end
 
-let run ?(options = default_options) ?release platform ref_cluster apps =
+let run ?(options = default_options) ?release ?pinned ?avail platform
+    ref_cluster apps =
   if apps = [] then invalid_arg "List_mapper.run: no applications";
   let release =
     match release with
@@ -373,9 +374,61 @@ let run ?(options = default_options) ?release platform ref_cluster apps =
            { s with bl = bottom_levels ref_cluster ptg alloc })
          apps)
   in
-  let proc_avail = Array.make (P.total_procs platform) 0. in
+  (* Freeze pinned placements: they count as already mapped (successors'
+     pending counts drop) but are never (re)placed, and their processor
+     occupancy is carried by [avail] rather than re-reserved here. *)
+  (match pinned with
+  | None -> ()
+  | Some pin ->
+    if Array.length pin <> Array.length states then
+      invalid_arg "List_mapper.run: pinned length differs from apps";
+    Array.iteri
+      (fun i state ->
+        let dag = state.ptg.Ptg.dag in
+        let n = Dag.node_count dag in
+        if Array.length pin.(i) <> n then
+          invalid_arg "List_mapper.run: pinned node count differs from DAG";
+        Array.iteri
+          (fun v pl ->
+            match pl with
+            | None -> ()
+            | Some pl ->
+              if pl.Schedule.node <> v then
+                invalid_arg "List_mapper.run: pinned placement mislabeled";
+              state.placements.(v) <- Some pl;
+              Array.iter
+                (fun (w, _e) -> state.pending.(w) <- state.pending.(w) - 1)
+                (Dag.succs dag v))
+          pin.(i))
+      states);
+  let is_pinned i v =
+    match pinned with
+    | None -> false
+    | Some pin -> pin.(i).(v) <> None
+  in
+  let proc_avail =
+    match avail with
+    | None -> Array.make (P.total_procs platform) 0.
+    | Some a ->
+      if Array.length a <> P.total_procs platform then
+        invalid_arg "List_mapper.run: avail length differs from platform";
+      Array.iter
+        (fun t ->
+          if t < 0. then invalid_arg "List_mapper.run: negative avail")
+        a;
+      Array.copy a
+  in
   let timeline =
-    lazy (Mcs_util.Timeline.create ~procs:(P.total_procs platform))
+    lazy
+      (let t = Mcs_util.Timeline.create ~procs:(P.total_procs platform) in
+       (* An occupied prefix [0, avail(p)) models both past time and the
+          tail of tasks still running on p. *)
+       Array.iteri
+         (fun p a ->
+           if a > 0. then
+             Mcs_util.Timeline.reserve t ~proc:p ~start:0. ~finish:a)
+         proc_avail;
+       t)
   in
   let floor = ref 0. in
   let commit i v =
@@ -421,7 +474,7 @@ let run ?(options = default_options) ?release platform ref_cluster apps =
     Array.iteri
       (fun i state ->
         for v = 0 to Dag.node_count state.ptg.Ptg.dag - 1 do
-          if state.pending.(v) = 0 then push i v
+          if state.pending.(v) = 0 && not (is_pinned i v) then push i v
         done)
       states;
     let rec drain () =
@@ -433,7 +486,7 @@ let run ?(options = default_options) ?release platform ref_cluster apps =
         Array.iter
           (fun (w, _e) ->
             state.pending.(w) <- state.pending.(w) - 1;
-            if state.pending.(w) = 0 then push i w)
+            if state.pending.(w) = 0 && not (is_pinned i w) then push i w)
           (Dag.succs state.ptg.Ptg.dag v);
         drain ()
     in
@@ -446,14 +499,15 @@ let run ?(options = default_options) ?release platform ref_cluster apps =
     Array.iteri
       (fun i state ->
         for v = 0 to Dag.node_count state.ptg.Ptg.dag - 1 do
-          all :=
-            {
-              priority = state.bl.(v);
-              app = i;
-              topo_rank = state.topo_rank.(v);
-              node = v;
-            }
-            :: !all
+          if not (is_pinned i v) then
+            all :=
+              {
+                priority = state.bl.(v);
+                app = i;
+                topo_rank = state.topo_rank.(v);
+                node = v;
+              }
+              :: !all
         done)
       states;
     let sorted = List.sort entry_cmp !all in

@@ -40,6 +40,8 @@ val default_options : options
 val run :
   ?options:options ->
   ?release:float array ->
+  ?pinned:Schedule.placement option array array ->
+  ?avail:float array ->
   Mcs_platform.Platform.t ->
   Reference_cluster.t ->
   (Mcs_ptg.Ptg.t * int array) list ->
@@ -50,5 +52,16 @@ val run :
     submits everything at 0, its future-work section motivates staggered
     arrivals): no task of application [i] may start before
     [release.(i)].
+
+    [pinned] and [avail] support partial rescheduling by the online
+    engine ({!Mcs_online.Engine}): [pinned.(i).(v) = Some pl] freezes
+    node [v] of application [i] at placement [pl] — it is not remapped,
+    it feeds its successors' data-ready times and the in-place
+    redistribution rule, and its processor occupancy is assumed to be
+    reflected in [avail]. [avail.(p)] is the time from which processor
+    [p] may receive new work (default 0 everywhere): the availability
+    profile of a partially-occupied platform. A predecessor of an
+    unpinned node must be pinned or belong to the mapped set.
     @raise Invalid_argument on an empty list, an allocation array of
-    the wrong length, or a negative/ill-sized [release]. *)
+    the wrong length, a negative/ill-sized [release], or ill-sized
+    [pinned]/[avail]. *)

@@ -3,23 +3,41 @@ module Ptg = Mcs_ptg.Ptg
 let join_procs procs =
   String.concat "+" (Array.to_list (Array.map string_of_int procs))
 
-let to_csv schedules =
+(* Submission times only show up in the output when they carry
+   information, so pre-release consumers of the trace formats keep
+   seeing the exact shape they parsed before. *)
+let checked_release release schedules =
+  match release with
+  | None -> None
+  | Some r ->
+    if Array.length r <> List.length schedules then
+      invalid_arg "Trace: release length differs from schedules";
+    if Array.for_all (fun t -> t = 0.) r then None else Some r
+
+let to_csv ?release schedules =
+  let release = checked_release release schedules in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "app,app_name,node,virtual,cluster,procs,nb_procs,start,finish\n";
+    "app,app_name,node,virtual,cluster,procs,nb_procs,start,finish";
+  if release <> None then Buffer.add_string buf ",release";
+  Buffer.add_char buf '\n';
   List.iteri
     (fun i sched ->
       let ptg = sched.Schedule.ptg in
       Array.iter
         (fun pl ->
           Buffer.add_string buf
-            (Printf.sprintf "%d,%s,%d,%b,%d,%s,%d,%.9g,%.9g\n" i
+            (Printf.sprintf "%d,%s,%d,%b,%d,%s,%d,%.9g,%.9g" i
                ptg.Ptg.name pl.Schedule.node
                (Ptg.is_virtual ptg pl.Schedule.node)
                pl.Schedule.cluster
                (join_procs pl.Schedule.procs)
                (Array.length pl.Schedule.procs)
-               pl.Schedule.start pl.Schedule.finish))
+               pl.Schedule.start pl.Schedule.finish);
+          (match release with
+          | Some r -> Buffer.add_string buf (Printf.sprintf ",%.9g" r.(i))
+          | None -> ());
+          Buffer.add_char buf '\n')
         sched.Schedule.placements)
     schedules;
   Buffer.contents buf
@@ -41,7 +59,8 @@ let escape s =
     s;
   Buffer.contents buf
 
-let to_json schedules =
+let to_json ?release schedules =
+  let release = checked_release release schedules in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"applications\":[";
   List.iteri
@@ -49,9 +68,14 @@ let to_json schedules =
       if i > 0 then Buffer.add_char buf ',';
       let ptg = sched.Schedule.ptg in
       Buffer.add_string buf
-        (Printf.sprintf
-           "{\"id\":%d,\"name\":\"%s\",\"makespan\":%.17g,\"tasks\":["
-           ptg.Ptg.id (escape ptg.Ptg.name) sched.Schedule.makespan);
+        (Printf.sprintf "{\"id\":%d,\"name\":\"%s\"," ptg.Ptg.id
+           (escape ptg.Ptg.name));
+      (match release with
+      | Some r -> Buffer.add_string buf (Printf.sprintf "\"release\":%.17g," r.(i))
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "\"makespan\":%.17g,\"tasks\":["
+           sched.Schedule.makespan);
       Array.iteri
         (fun j pl ->
           if j > 0 then Buffer.add_char buf ',';

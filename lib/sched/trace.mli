@@ -6,11 +6,19 @@
     - a compact JSON document embedding applications, placements and
       makespans (hand-rolled encoder, no dependency). *)
 
-val to_csv : Schedule.t list -> string
+val to_csv : ?release:float array -> Schedule.t list -> string
 (** Header:
     [app,app_name,node,virtual,cluster,procs,nb_procs,start,finish].
-    The [procs] cell joins global processor ids with ['+']. *)
+    The [procs] cell joins global processor ids with ['+'].
 
-val to_json : Schedule.t list -> string
+    [release] gives per-application submission times (online / staggered
+    runs). When present and not all zero, a [release] column is appended
+    so the exported Gantt data is complete; when absent or all-zero the
+    historical column set is kept unchanged.
+    @raise Invalid_argument on a [release] of the wrong length. *)
+
+val to_json : ?release:float array -> Schedule.t list -> string
 (** One JSON object with an [applications] array. Numbers are printed
-    with enough digits to round-trip. *)
+    with enough digits to round-trip. [release] behaves as in {!to_csv}:
+    when present and not all zero, each application object gains a
+    [release] field; otherwise the historical shape is kept. *)

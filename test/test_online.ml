@@ -1,0 +1,249 @@
+(* Online engine: determinism, conservation, offline equivalence at
+   t = 0, and the no-future-knowledge regression on β recomputation. *)
+
+module Grid5000 = Mcs_platform.Grid5000
+module Prng = Mcs_prng.Prng
+module Ptg = Mcs_ptg.Ptg
+module Schedule = Mcs_sched.Schedule
+module Strategy = Mcs_sched.Strategy
+module Pipeline = Mcs_sched.Pipeline
+open Mcs_online
+
+let random_ptgs n seed =
+  let rng = Prng.create ~seed in
+  List.init n (fun id ->
+      Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+
+let poisson_releases n seed ~mean =
+  let rng = Prng.create ~seed in
+  let clock = ref 0. in
+  List.init n (fun i ->
+      if i = 0 then 0.
+      else begin
+        clock := !clock +. Prng.exponential rng ~mean;
+        !clock
+      end)
+
+let workload n seed ~mean =
+  List.combine (random_ptgs n seed) (poisson_releases n (seed + 1) ~mean)
+
+let placements_equal a b =
+  a.Schedule.node = b.Schedule.node
+  && a.Schedule.cluster = b.Schedule.cluster
+  && a.Schedule.procs = b.Schedule.procs
+  && Float.abs (a.Schedule.start -. b.Schedule.start) <= 1e-9
+  && Float.abs (a.Schedule.finish -. b.Schedule.finish) <= 1e-9
+
+let check_same_schedules msg expected got =
+  List.iteri
+    (fun i (e, g) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: app %d placements" msg i)
+        true
+        (Array.for_all2 placements_equal e.Schedule.placements
+           g.Schedule.placements))
+    (List.combine expected got)
+
+let test_determinism () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 5 42 ~mean:40. in
+  let policy = Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let r1 = Engine.run ~policy platform apps in
+  let r2 = Engine.run ~policy platform apps in
+  check_same_schedules "two runs" r1.Engine.schedules r2.Engine.schedules;
+  Alcotest.(check (array (float 0.))) "same completions"
+    r1.Engine.completions r2.Engine.completions;
+  Alcotest.(check int) "same event count" r1.Engine.stats.Engine.events_processed
+    r2.Engine.stats.Engine.events_processed;
+  Alcotest.(check int) "same reschedules" r1.Engine.stats.Engine.reschedules
+    r2.Engine.stats.Engine.reschedules
+
+let test_conservation () =
+  (* Every task placed exactly once, schedules valid (in particular no
+     processor oversubscription) even after many partial reschedules. *)
+  let platform = Grid5000.lille () in
+  let apps = workload 6 7 ~mean:25. in
+  let policy = Policy.make Strategy.Equal_share in
+  let r = Engine.run ~policy platform apps in
+  Alcotest.(check bool) "rescheduled more than once" true
+    (r.Engine.stats.Engine.reschedules > List.length apps);
+  List.iteri
+    (fun i sched ->
+      let n = Ptg.node_count sched.Schedule.ptg in
+      Alcotest.(check int)
+        (Printf.sprintf "app %d: one placement per node" i)
+        n
+        (Array.length sched.Schedule.placements);
+      Array.iteri
+        (fun v pl ->
+          Alcotest.(check int) "placement labels its node" v pl.Schedule.node)
+        sched.Schedule.placements)
+    r.Engine.schedules;
+  (match Schedule.validate ~platform r.Engine.schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message);
+  (* Starts respect submissions; completions are consistent. *)
+  List.iteri
+    (fun i ((_, release), sched) ->
+      Array.iter
+        (fun pl ->
+          Alcotest.(check bool)
+            (Printf.sprintf "app %d starts after release" i)
+            true
+            (pl.Schedule.start >= release -. 1e-9))
+        sched.Schedule.placements;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "app %d completion = exit finish" i)
+        sched.Schedule.makespan r.Engine.completions.(i))
+    (List.combine apps r.Engine.schedules)
+
+let test_offline_equivalence_at_zero () =
+  (* All arrivals at t = 0 under the static policy: one rescheduling
+     over the full set — placement-for-placement the offline pipeline. *)
+  let platform = Grid5000.sophia () in
+  List.iter
+    (fun strategy ->
+      let ptgs = random_ptgs 4 11 in
+      let apps = List.map (fun p -> (p, 0.)) ptgs in
+      let offline = Pipeline.schedule_concurrent ~strategy platform ptgs in
+      let r = Engine.run ~policy:(Policy.static strategy) platform apps in
+      check_same_schedules
+        (Strategy.name strategy)
+        offline r.Engine.schedules;
+      Alcotest.(check int) "single reschedule" 1
+        r.Engine.stats.Engine.reschedules)
+    [
+      Strategy.Equal_share;
+      Strategy.Proportional Strategy.Work;
+      Strategy.Weighted (Strategy.Work, 0.7);
+    ]
+
+let test_dynamic_beta_single_app_selfish () =
+  (* Regression: β is recomputed over *arrived* applications only. Two
+     applications far apart in time under ES: while alone, each must get
+     β = 1, never 1/2 — the offline approximation over the full
+     submission set would leak future knowledge. *)
+  let platform = Grid5000.nancy () in
+  let ptgs = random_ptgs 2 13 in
+  let apps = List.combine ptgs [ 0.; 1e6 ] in
+  let reschedules = ref [] in
+  let log = function
+    | Log.Reschedule { time; betas; _ } -> reschedules := (time, betas) :: !reschedules
+    | _ -> ()
+  in
+  let r =
+    Engine.run ~log ~policy:(Policy.make Strategy.Equal_share) platform apps
+  in
+  let reschedules = List.rev !reschedules in
+  Alcotest.(check bool) "at least two reschedules" true
+    (List.length reschedules >= 2);
+  List.iter
+    (fun (time, betas) ->
+      List.iter
+        (fun (app, beta) ->
+          let release = List.nth (List.map snd apps) app in
+          Alcotest.(check bool)
+            (Printf.sprintf "app %d in β set only after arrival" app)
+            true
+            (release <= time +. 1e-9);
+          (* The second app never overlaps the first: each is alone in
+             its active set, so ES must give it the full platform. *)
+          Alcotest.(check (float 1e-9)) "alone => β = 1" 1. beta)
+        betas)
+    reschedules;
+  (* Final β of both apps is the alone share. *)
+  Alcotest.(check (array (float 1e-9))) "final betas" [| 1.; 1. |] r.Engine.betas
+
+let test_departure_frees_resources () =
+  (* With dynamic β, an app arriving while another is mid-flight gets a
+     response no worse than under the frozen offline approximation. Also
+     exercises that β grows after the competitor departs. *)
+  let platform = Grid5000.rennes () in
+  let ptgs = random_ptgs 3 17 in
+  let releases = [ 0.; 10.; 20. ] in
+  let apps = List.combine ptgs releases in
+  let betas_seen = ref [] in
+  let log = function
+    | Log.Reschedule { betas; _ } -> betas_seen := betas :: !betas_seen
+    | _ -> ()
+  in
+  let policy = Policy.make Strategy.Equal_share in
+  let r = Engine.run ~log ~policy platform apps in
+  (match Schedule.validate ~platform r.Engine.schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message);
+  (* Some reschedule saw a singleton active set (after departures) with
+     β = 1 while the full set gave 1/3. *)
+  let shares = List.concat_map (List.map snd) !betas_seen in
+  Alcotest.(check bool) "β = 1/3 seen" true
+    (List.exists (fun b -> Float.abs (b -. (1. /. 3.)) < 1e-9) shares);
+  Alcotest.(check bool) "β = 1 seen after departures" true
+    (List.exists (fun b -> Float.abs (b -. 1.) < 1e-9) shares)
+
+let test_event_log_ordering () =
+  (* The log is in virtual-time order and contains one arrival and one
+     departure per application. *)
+  let platform = Grid5000.lille () in
+  let apps = workload 4 23 ~mean:30. in
+  let events = ref [] in
+  let log e = events := e :: !events in
+  ignore (Engine.run ~log ~policy:(Policy.make Strategy.Equal_share) platform apps);
+  let events = List.rev !events in
+  let rec monotone last = function
+    | [] -> true
+    | e :: rest ->
+      let t = Log.time e in
+      t >= last -. 1e-9 && monotone t rest
+  in
+  Alcotest.(check bool) "times monotone" true (monotone 0. events);
+  let count f = List.length (List.filter f events) in
+  Alcotest.(check int) "4 arrivals" 4
+    (count (function Log.Arrival _ -> true | _ -> false));
+  Alcotest.(check int) "4 departures" 4
+    (count (function Log.Departure _ -> true | _ -> false));
+  (* Every line is one-object JSON. *)
+  List.iter
+    (fun e ->
+      let s = Log.to_json e in
+      Alcotest.(check bool) "json braces" true
+        (String.length s > 2 && s.[0] = '{' && s.[String.length s - 1] = '}');
+      Alcotest.(check bool) "single line" true
+        (not (String.contains s '\n')))
+    events
+
+let test_replayable () =
+  (* Online schedules replay through the fluid network model like any
+     offline schedule (reuse of lib/sim, no fork). *)
+  let platform = Grid5000.sophia () in
+  let apps = workload 4 29 ~mean:35. in
+  let r = Engine.run ~policy:(Policy.make Strategy.Equal_share) platform apps in
+  let release = Array.of_list (List.map snd apps) in
+  let sim = Mcs_sim.Replay.run ~release platform r.Engine.schedules in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "app %d simulated makespan positive" i)
+        true (m > 0.);
+      Alcotest.(check bool) "simulated completion after release" true
+        (m >= release.(i) -. 1e-9))
+    sim.Mcs_sim.Replay.makespans
+
+let suite =
+  [
+    ( "online.engine",
+      [
+        Alcotest.test_case "deterministic under a fixed seed" `Quick
+          test_determinism;
+        Alcotest.test_case "conservation after rescheduling" `Quick
+          test_conservation;
+        Alcotest.test_case "t=0 arrivals reproduce offline" `Quick
+          test_offline_equivalence_at_zero;
+        Alcotest.test_case "β never uses future arrivals" `Quick
+          test_dynamic_beta_single_app_selfish;
+        Alcotest.test_case "departures free resources" `Quick
+          test_departure_frees_resources;
+        Alcotest.test_case "event log ordering + JSON" `Quick
+          test_event_log_ordering;
+        Alcotest.test_case "replayable through lib/sim" `Quick test_replayable;
+      ] );
+  ]

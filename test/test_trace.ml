@@ -73,6 +73,45 @@ let test_json_escaping () =
   in
   Alcotest.(check bool) "escaped quote" true (contains "we\\\"ird\\\\name")
 
+let contains_sub hay sub =
+  let n = String.length sub in
+  let rec loop i =
+    i + n <= String.length hay && (String.sub hay i n = sub || loop (i + 1))
+  in
+  loop 0
+
+let test_release_column () =
+  (* Staggered releases append a CSV column and a JSON field; all-zero
+     (or absent) releases keep the historical shape byte-for-byte. *)
+  let scheds = schedules () in
+  let csv = Trace.to_csv ~release:[| 0.; 42.5 |] scheds in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check bool) "header gains release" true
+    (contains_sub (List.hd lines) ",release");
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then begin
+        let cells = String.split_on_char ',' line in
+        Alcotest.(check int) "10 cells" 10 (List.length cells);
+        let app = int_of_string (List.nth cells 0) in
+        Alcotest.(check (float 0.)) "release cell"
+          (if app = 0 then 0. else 42.5)
+          (float_of_string (List.nth cells 9))
+      end)
+    lines;
+  let json = Trace.to_json ~release:[| 0.; 42.5 |] scheds in
+  Alcotest.(check bool) "json release field" true
+    (contains_sub json "\"release\":42.5");
+  Alcotest.(check string) "all-zero release keeps csv shape"
+    (Trace.to_csv scheds)
+    (Trace.to_csv ~release:[| 0.; 0. |] scheds);
+  Alcotest.(check string) "all-zero release keeps json shape"
+    (Trace.to_json scheds)
+    (Trace.to_json ~release:[| 0.; 0. |] scheds);
+  Alcotest.check_raises "wrong length rejected"
+    (Invalid_argument "Trace: release length differs from schedules")
+    (fun () -> ignore (Trace.to_csv ~release:[| 0. |] scheds))
+
 let suite =
   [
     ( "sched.trace",
@@ -82,5 +121,6 @@ let suite =
         Alcotest.test_case "json shape" `Quick
           test_json_balanced_and_parsable_shape;
         Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        Alcotest.test_case "release export" `Quick test_release_column;
       ] );
   ]
