@@ -37,7 +37,7 @@ let write_file path contents =
   Printf.eprintf "wrote %s\n" path
 
 let run site strategy family count seed mean_interarrival static csv json
-    gantt =
+    gantt check =
   let platform =
     match Mcs_platform.Grid5000.by_name site with
     | Some p -> p
@@ -75,7 +75,24 @@ let run site strategy family count seed mean_interarrival static csv json
     if static then Policy.static strategy else Policy.make strategy
   in
   let log e = print_endline (Log.to_json e) in
-  let r = Engine.run ~log ~policy platform apps in
+  (* With --check, every reschedule generation is audited by the
+     invariant analyzer; violations are reported and fail the run. *)
+  let violations = ref 0 in
+  let checker diags =
+    List.iter
+      (fun d -> prerr_endline (Mcs_check.Diagnostic.to_string d))
+      (Mcs_check.Diagnostic.sort diags);
+    violations :=
+      !violations + List.length (Mcs_check.Diagnostic.errors diags)
+  in
+  let r =
+    Engine.run ~log ?check:(if check then Some checker else None) ~policy
+      platform apps
+  in
+  if !violations > 0 then begin
+    Printf.eprintf "invariant check: %d errors\n" !violations;
+    exit 1
+  end;
   (match Schedule.validate ~platform r.Engine.schedules with
   | Ok () -> ()
   | Error v ->
@@ -147,6 +164,13 @@ let gantt =
   Arg.(value & flag
        & info [ "gantt" ] ~doc:"print a text Gantt chart to stderr")
 
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:
+             "audit every reschedule with the invariant analyzer and exit \
+              non-zero on any violated rule")
+
 let cmd =
   let doc =
     "run the event-driven online scheduler and stream JSON event logs"
@@ -155,6 +179,6 @@ let cmd =
     (Cmd.info "mcs_online" ~doc)
     Term.(
       const run $ site $ strategy $ family $ count $ seed $ mean_interarrival
-      $ static $ csv $ json $ gantt)
+      $ static $ csv $ json $ gantt $ check)
 
 let () = exit (Cmd.eval cmd)

@@ -33,7 +33,7 @@ let write_file path contents =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let run site strategy family count seed csv json =
+let run site strategy family count seed csv json check =
   let platform =
     match Mcs_platform.Grid5000.by_name site with
     | Some p -> p
@@ -64,6 +64,16 @@ let run site strategy family count seed csv json =
   | Error v ->
     prerr_endline ("internal error, invalid schedule: " ^ v.Schedule.message);
     exit 1);
+  (if check then begin
+     let diags =
+       Mcs_check.Check.analyze_prepared ~strategy prepared platform schedules
+     in
+     List.iter
+       (fun d -> prerr_endline (Mcs_check.Diagnostic.to_string d))
+       (Mcs_check.Diagnostic.sort diags);
+     Printf.eprintf "invariant check: %s\n" (Mcs_check.Diagnostic.summary diags);
+     if Mcs_check.Diagnostic.has_errors diags then exit 1
+   end);
   let sim = Mcs_sim.Replay.run platform schedules in
   Printf.printf "%s, %d %s applications, strategy %s\n\n" site count
     (Workload.family_name family) (Strategy.name strategy);
@@ -81,7 +91,16 @@ let run site strategy family count seed csv json =
   | Some path -> write_file path (Mcs_sched.Trace.to_csv schedules)
   | None -> ());
   match json with
-  | Some path -> write_file path (Mcs_sched.Trace.to_json schedules)
+  | Some path ->
+    (* Embed the checker metadata so mcs_check can re-verify the β and
+       allocation rules offline. *)
+    let alloc =
+      Array.map
+        (fun (r : Mcs_sched.Allocation.result) -> r.Mcs_sched.Allocation.procs)
+        prepared.Pipeline.allocations
+    in
+    write_file path
+      (Mcs_sched.Trace.to_json ~betas:prepared.Pipeline.betas ~alloc schedules)
   | None -> ()
 
 let site =
@@ -110,10 +129,18 @@ let json =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~doc:"export the schedules as JSON to this path")
 
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:
+             "run the invariant analyzer over the produced schedules and \
+              exit non-zero on any violated rule")
+
 let cmd =
   let doc = "schedule concurrent PTGs on a multi-cluster" in
   Cmd.v
     (Cmd.info "mcs_sched" ~doc)
-    Term.(const run $ site $ strategy $ family $ count $ seed $ csv $ json)
+    Term.(
+      const run $ site $ strategy $ family $ count $ seed $ csv $ json $ check)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,6 @@
    Run with: dune exec examples/batch_workflows.exe *)
 
 module P = Mcs_platform.Platform
-module Ptg = Mcs_ptg.Ptg
 module Strategy = Mcs_sched.Strategy
 module Pipeline = Mcs_sched.Pipeline
 module Schedule = Mcs_sched.Schedule

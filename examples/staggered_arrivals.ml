@@ -8,7 +8,6 @@
 
 module Ptg = Mcs_ptg.Ptg
 module Strategy = Mcs_sched.Strategy
-module Pipeline = Mcs_sched.Pipeline
 module Runner = Mcs_experiments.Runner
 module Table = Mcs_util.Table
 

@@ -1,0 +1,65 @@
+module Dag = Mcs_dag.Dag
+
+let sum_tolerance = 1e-6
+
+let check_beta ~emit ?app beta =
+  if (not (Float.is_finite beta)) || beta <= 0. || beta > 1. then
+    emit
+      (Diagnostic.error ?app Rule.Beta_range
+         "beta = %g is outside the legal share range (0, 1]" beta)
+
+let check_beta_sum ~emit ~severity betas =
+  let finite = Array.to_list betas |> List.filter Float.is_finite in
+  let sum = Mcs_util.Floatx.sum_list finite in
+  if List.length finite >= 2 && sum > 1. +. sum_tolerance then
+    let mk =
+      match severity with
+      | Diagnostic.Error -> Diagnostic.error
+      | Diagnostic.Warning -> Diagnostic.warning
+      | Diagnostic.Info -> Diagnostic.info
+    in
+    emit
+      (mk Rule.Beta_share_sum
+         "the %d beta shares sum to %g > 1: the platform is oversubscribed"
+         (List.length finite) sum)
+
+let check_bounds ~emit ?app ~max_allocation ~is_virtual alloc =
+  Array.iteri
+    (fun v a ->
+      if not (is_virtual v) then
+        if a < 1 then
+          emit
+            (Diagnostic.error ?app ~node:v Rule.Alloc_bounds
+               "allocation %d < 1 reference processor" a)
+        else if a > max_allocation then
+          emit
+            (Diagnostic.error ?app ~node:v Rule.Alloc_bounds
+               "allocation %d exceeds the largest single-cluster \
+                allocation (%d)"
+               a max_allocation))
+    alloc
+
+let check_level_share ~emit ?app ~ref_procs ~beta ~dag ~is_virtual alloc =
+  if Float.is_finite beta && beta > 0. then begin
+    let budget =
+      max 1 (int_of_float (Float.floor (beta *. float_of_int ref_procs)))
+    in
+    Array.iteri
+      (fun level members ->
+        let population = ref 0 and usage = ref 0 in
+        Array.iter
+          (fun v ->
+            if not (is_virtual v) then begin
+              incr population;
+              usage := !usage + alloc.(v)
+            end)
+          members;
+        let limit = max !population budget in
+        if !usage > limit then
+          emit
+            (Diagnostic.error ?app Rule.Alloc_level_share
+               "level %d allocates %d reference processors, above \
+                max(population %d, budget %d) for beta = %g"
+               level !usage !population budget beta))
+      (Dag.level_members dag)
+  end

@@ -1,0 +1,44 @@
+(** Allocation and resource-constraint rules (ALLOC001–ALLOC004).
+
+    These audit the output of the β-determination and SCRAP/SCRAP-MAX
+    steps: every β is a legal power share, sharing strategies hand out
+    at most the whole platform, every task's allocation fits a real
+    cluster, and — under SCRAP-MAX — each precedence level stays within
+    its [max(population, ⌊β·procs⌋)] budget (Eq. 2). *)
+
+val check_beta :
+  emit:(Diagnostic.t -> unit) -> ?app:int -> float -> unit
+(** ALLOC003: β must be finite and in (0, 1]. *)
+
+val check_beta_sum :
+  emit:(Diagnostic.t -> unit) ->
+  severity:Diagnostic.severity ->
+  float array ->
+  unit
+(** ALLOC004: Σβ ≤ 1 (small tolerance). The caller picks the severity:
+    [Error] when the strategy is known to be a sharing one, [Warning]
+    when linting a trace whose strategy is unknown. Skips βs that are
+    not finite (ALLOC003 already fired). *)
+
+val check_bounds :
+  emit:(Diagnostic.t -> unit) ->
+  ?app:int ->
+  max_allocation:int ->
+  is_virtual:(int -> bool) ->
+  int array ->
+  unit
+(** ALLOC001: every real task's reference allocation lies in
+    [1, max_allocation]. Virtual nodes are ignored. *)
+
+val check_level_share :
+  emit:(Diagnostic.t -> unit) ->
+  ?app:int ->
+  ref_procs:int ->
+  beta:float ->
+  dag:Mcs_dag.Dag.t ->
+  is_virtual:(int -> bool) ->
+  int array ->
+  unit
+(** ALLOC002 (SCRAP-MAX only — the caller gates on the procedure): per
+    precedence level, Σ over real tasks of the allocation must not
+    exceed [max(level population, max 1 ⌊β·ref_procs⌋)]. *)

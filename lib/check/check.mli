@@ -1,0 +1,68 @@
+(** The invariant analyzer's front door.
+
+    [analyze] verifies a set of concurrent schedules — plus whatever
+    allocation context the caller can supply — against the full rule
+    registry ({!Rule.all}) and returns structured diagnostics. It is
+    pure: no printing, no exit codes. {!fail_on_error} and
+    {!pipeline_hook} adapt it to callers that want failure to be loud
+    (the experiment runner, debug modes of the CLIs); {!lint_trace}
+    adapts it to parsed trace files ([mcs_check]). *)
+
+exception Violation of Diagnostic.t list
+(** Raised by {!fail_on_error}; carries the error subset. *)
+
+val analyze :
+  ?strategy:Mcs_sched.Strategy.t ->
+  ?procedure:Mcs_sched.Allocation.procedure ->
+  ?betas:float array ->
+  ?allocations:int array array ->
+  ?release:float array ->
+  ?pinned:Mcs_sched.Schedule.placement option array array ->
+  Mcs_platform.Platform.t ->
+  Mcs_sched.Schedule.t list ->
+  Diagnostic.t list
+(** Verify schedules (in list order; diagnostics index into it).
+    Always runs: DAG rules over each PTG, placement structure, virtual
+    tasks, cluster membership, the overlap sweep, precedence with
+    redistribution lower bounds, release dates. With [betas]: β range,
+    and — unless [strategy] is [Selfish] or unknown — Σβ ≤ 1. With
+    [allocations] (reference processors per node, one array per
+    application): allocation bounds, packing, and — when [betas] are
+    also present and [procedure] is [Scrap_max] (the default) — the
+    per-level SCRAP-MAX budget. [pinned] exempts frozen placements from
+    the packing rule, as in partial reschedules.
+    @raise Invalid_argument when an optional array's length differs
+    from the number of schedules. *)
+
+val analyze_prepared :
+  ?strategy:Mcs_sched.Strategy.t ->
+  ?procedure:Mcs_sched.Allocation.procedure ->
+  ?release:float array ->
+  Mcs_sched.Pipeline.prepared ->
+  Mcs_platform.Platform.t ->
+  Mcs_sched.Schedule.t list ->
+  Diagnostic.t list
+(** {!analyze} with β and allocations taken from a
+    {!Mcs_sched.Pipeline.prepared} value. *)
+
+val lint_trace :
+  ?platform:Mcs_platform.Platform.t ->
+  Mcs_sched.Trace.doc ->
+  Diagnostic.t list
+(** Offline linting of a parsed trace — see {!Trace_check.lint}. *)
+
+val fail_on_error : Diagnostic.t list -> unit
+(** @raise Violation when the list contains at least one error. *)
+
+val pipeline_hook :
+  ?procedure:Mcs_sched.Allocation.procedure ->
+  ?release:float array ->
+  strategy:Mcs_sched.Strategy.t ->
+  Mcs_platform.Platform.t ->
+  prepared:Mcs_sched.Pipeline.prepared ->
+  Mcs_sched.Schedule.t list ->
+  unit
+(** Ready-made argument for {!Mcs_sched.Pipeline.schedule_concurrent}'s
+    [?check] parameter: analyzes every batch it schedules and raises
+    {!Violation} on errors. Partial application fixes everything up to
+    [~prepared]. *)

@@ -1,0 +1,59 @@
+module Dag = Mcs_dag.Dag
+module Ptg = Mcs_ptg.Ptg
+
+let bad_bytes b = (not (Float.is_finite b)) || b < 0.
+
+let check_ptg ~emit ?app ptg =
+  let dag = ptg.Ptg.dag in
+  (match Dag.sources dag with
+  | [ _ ] -> ()
+  | sources ->
+    emit
+      (Diagnostic.error ?app Rule.Dag_entry_exit "%d entry nodes, expected 1"
+         (List.length sources)));
+  (match Dag.sinks dag with
+  | [ _ ] -> ()
+  | sinks ->
+    emit
+      (Diagnostic.error ?app Rule.Dag_entry_exit "%d exit nodes, expected 1"
+         (List.length sinks)));
+  let levels = Dag.depth_levels dag in
+  for e = 0 to Dag.edge_count dag - 1 do
+    let src, dst = Dag.edge dag e in
+    if levels.(dst) <= levels.(src) then
+      emit
+        (Diagnostic.error ?app ~node:dst Rule.Dag_level_order
+           "edge %d->%d links level %d to level %d" src dst levels.(src)
+           levels.(dst));
+    let b = ptg.Ptg.edge_bytes.(e) in
+    if bad_bytes b then
+      emit
+        (Diagnostic.error ?app ~node:dst Rule.Dag_edge_bytes
+           "edge %d->%d carries %g bytes" src dst b)
+  done
+
+let check_edges ~emit ?app ~n edges =
+  let ok = ref true in
+  List.iter
+    (fun (src, dst, bytes) ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then begin
+        ok := false;
+        emit
+          (Diagnostic.error ?app Rule.Dag_acyclic
+             "edge %d->%d references a node outside 0..%d" src dst (n - 1))
+      end;
+      if bad_bytes bytes then
+        emit
+          (Diagnostic.error ?app ~node:dst Rule.Dag_edge_bytes
+             "edge %d->%d carries %g bytes" src dst bytes))
+    edges;
+  if not !ok then None
+  else
+    match Dag.of_edges ~n (List.map (fun (s, d, _) -> (s, d)) edges) with
+    | dag -> Some dag
+    | exception Dag.Cycle cycle ->
+      emit
+        (Diagnostic.error ?app Rule.Dag_acyclic
+           "precedence cycle through nodes %s"
+           (String.concat "->" (List.map string_of_int cycle)));
+      None

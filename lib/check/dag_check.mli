@@ -1,0 +1,24 @@
+(** DAG well-formedness rules (DAG001–DAG004).
+
+    In-memory {!Mcs_ptg.Ptg.t} values already enforce most of these by
+    construction ({!Mcs_dag.Dag.of_edges} rejects cycles,
+    {!Mcs_ptg.Ptg.create} demands one source and one sink), so on live
+    pipelines these checks are cheap re-assertions; their real weight is
+    on reconstructed graphs parsed back from traces, where nothing is
+    guaranteed. *)
+
+val check_ptg : emit:(Diagnostic.t -> unit) -> ?app:int -> Mcs_ptg.Ptg.t -> unit
+(** Run DAG002 (single entry/exit), DAG003 (edges descend levels) and
+    DAG004 (finite, non-negative edge bytes) over one PTG. DAG001 is
+    implied: a {!Mcs_dag.Dag.t} cannot hold a cycle. *)
+
+val check_edges :
+  emit:(Diagnostic.t -> unit) ->
+  ?app:int ->
+  n:int ->
+  (int * int * float) list ->
+  Mcs_dag.Dag.t option
+(** Validate a raw edge list [(src, dst, bytes)] on nodes [0..n-1] —
+    the trace-lint path. Emits DAG001 on a cycle or self-loop, DAG004 on
+    a bad byte volume, and returns the rebuilt DAG when acyclic (so the
+    caller can run level-based allocation rules on it). *)

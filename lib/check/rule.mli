@@ -1,0 +1,50 @@
+(** The invariant rule set.
+
+    Every property the analyzer can verify about a scheduling artifact
+    has a stable identifier here, so diagnostics are machine-matchable
+    (tests assert on rule ids, CI greps for codes) and the documentation
+    can cite the paper clause each rule enforces. The registry is the
+    single source of truth: [mcs_check --rules] prints it, DESIGN.md
+    mirrors it. *)
+
+type t =
+  (* DAG well-formedness *)
+  | Dag_acyclic        (** precedence graph has no directed cycle *)
+  | Dag_entry_exit     (** exactly one entry and one exit node *)
+  | Dag_level_order    (** every edge goes to a strictly deeper level *)
+  | Dag_edge_bytes     (** data volumes are finite and non-negative *)
+  (* Allocation legality *)
+  | Alloc_bounds       (** 1 ≤ p_v ≤ largest allocation fitting a cluster *)
+  | Alloc_level_share  (** SCRAP-MAX per-level budget (Eq. 2 share) *)
+  | Beta_range         (** 0 < β ≤ 1 *)
+  | Beta_share_sum     (** Σ β_i ≤ 1 for the sharing strategies *)
+  (* Mapping soundness *)
+  | Map_structure      (** placement labels, finite times, makespan *)
+  | Map_virtual        (** virtual ⇔ no processors and zero duration *)
+  | Map_cluster        (** processor sets live inside one real cluster *)
+  | Map_overlap        (** no processor runs two placements at once *)
+  | Map_precedence     (** finish(pred) + redistribution ≤ start *)
+  | Map_packing        (** packing only ever shrank an allocation *)
+  | Map_release        (** no task starts before its submission *)
+  (* Online-specific *)
+  | Online_pin_stability  (** pinned placements never move *)
+  | Online_beta_active    (** β computed over the active set only *)
+  | Online_time_travel    (** reschedules never touch the past *)
+
+val id : t -> string
+(** Stable kebab-case identifier, e.g. ["map-overlap"]. *)
+
+val code : t -> string
+(** Short grouped code, e.g. ["MAP004"]. *)
+
+val of_id : string -> t option
+(** Inverse of {!id}. *)
+
+val describe : t -> string
+(** One-line statement of the invariant. *)
+
+val paper_ref : t -> string
+(** The paper clause (section/equation) that justifies the rule. *)
+
+val all : t list
+(** Every rule, in registry order. *)

@@ -1,0 +1,45 @@
+(** Mapping-soundness rules (MAP001–MAP007).
+
+    These re-verify, from first principles, what the list mapper is
+    supposed to guarantee: placements are structurally coherent, every
+    task runs inside one real cluster, no processor is double-booked
+    (sweep-line over per-processor busy intervals), every start honours
+    its predecessors' finish times plus a lower bound on the
+    redistribution delay, packing only ever shrank an allocation, and
+    nothing starts before its submission.
+
+    The precedence bound deliberately mirrors
+    {!Mcs_sched.List_mapper.run}'s cost formula from below: the in-place
+    exemption (same cluster, same processor set) is granted, the
+    aggregate destination-NIC bound is ignored — it can only delay
+    starts further — so a schedule the mapper accepts is never falsely
+    flagged, while a forged start time below the physical transfer
+    bound is. *)
+
+type interval = {
+  proc : int;
+  start : float;
+  finish : float;
+  app : int;
+  node : int;
+}
+
+val check_overlap : emit:(Diagnostic.t -> unit) -> interval list -> unit
+(** MAP004 sweep-line: sort busy intervals per processor and flag every
+    pair overlapping by more than the time tolerance. Shared with the
+    trace linter, which builds intervals from parsed rows. *)
+
+val check_schedules :
+  emit:(Diagnostic.t -> unit) ->
+  ?allocations:int array array ->
+  ?release:float array ->
+  ?pinned:Mcs_sched.Schedule.placement option array array ->
+  Mcs_platform.Platform.t ->
+  Mcs_sched.Schedule.t list ->
+  unit
+(** Run MAP001–MAP007 over a set of concurrent schedules.
+    [allocations] (reference processors per node, per application)
+    enables MAP006 packing verification; [pinned] marks placements
+    frozen by the online engine, which MAP006 skips — a pinned task may
+    carry an allocation from an earlier β generation. [release] gives
+    per-application submission times for MAP007 (default all 0). *)

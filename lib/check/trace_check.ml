@@ -1,0 +1,283 @@
+module Trace = Mcs_sched.Trace
+module P = Mcs_platform.Platform
+module Redistribution = Mcs_taskmodel.Redistribution
+module Reference_cluster = Mcs_sched.Reference_cluster
+open Mcs_util.Floatx
+
+(* A trace identifies applications by their exported id, not by list
+   position, so every diagnostic uses [a.Trace.app]. *)
+
+let row_map ~emit ~app (rows : Trace.row array) =
+  let tbl = Hashtbl.create (Array.length rows) in
+  Array.iter
+    (fun (r : Trace.row) ->
+      if Hashtbl.mem tbl r.Trace.node then
+        emit
+          (Diagnostic.error ~app ~node:r.Trace.node Rule.Map_structure
+             "node appears in two rows")
+      else Hashtbl.add tbl r.Trace.node r)
+    rows;
+  tbl
+
+let check_row ~emit ~app ?platform ~release (r : Trace.row) =
+  let { Trace.node; virt; cluster; procs; start; finish; preds = _ } = r in
+  if not (Float.is_finite start && Float.is_finite finish) then
+    emit
+      (Diagnostic.error ~app ~node Rule.Map_structure
+         "non-finite times %g..%g" start finish)
+  else if not (finish >=. start) then
+    emit
+      (Diagnostic.error ~app ~node ~window:(start, finish) Rule.Map_structure
+         "finishes at %g before starting at %g" finish start);
+  if virt then begin
+    if Array.length procs > 0 then
+      emit
+        (Diagnostic.error ~app ~node Rule.Map_virtual
+           "virtual task holds %d processors" (Array.length procs));
+    if Float.is_finite start && Float.is_finite finish
+       && not (approx_eq start finish)
+    then
+      emit
+        (Diagnostic.error ~app ~node ~window:(start, finish) Rule.Map_virtual
+           "virtual task takes %g seconds" (finish -. start))
+  end
+  else if Array.length procs = 0 then
+    emit (Diagnostic.error ~app ~node Rule.Map_virtual "real task holds no processor")
+  else begin
+    let sorted = Array.copy procs in
+    Array.sort compare sorted;
+    for i = 1 to Array.length sorted - 1 do
+      if sorted.(i) = sorted.(i - 1) then
+        emit
+          (Diagnostic.error ~app ~node ~proc:sorted.(i) Rule.Map_cluster
+             "processor listed twice")
+    done;
+    match platform with
+    | None ->
+      Array.iter
+        (fun p ->
+          if p < 0 then
+            emit
+              (Diagnostic.error ~app ~node ~proc:p Rule.Map_cluster
+                 "negative processor id"))
+        procs
+    | Some pf ->
+      if cluster < 0 || cluster >= P.cluster_count pf then
+        emit
+          (Diagnostic.error ~app ~node Rule.Map_cluster
+             "cluster %d does not exist on %s" cluster (P.name pf))
+      else
+        Array.iter
+          (fun p ->
+            if p < 0 || p >= P.total_procs pf then
+              emit
+                (Diagnostic.error ~app ~node ~proc:p Rule.Map_cluster
+                   "processor id outside 0..%d" (P.total_procs pf - 1))
+            else if P.cluster_of_proc pf p <> cluster then
+              emit
+                (Diagnostic.error ~app ~node ~proc:p Rule.Map_cluster
+                   "processor belongs to cluster %d, task is on %d"
+                   (P.cluster_of_proc pf p) cluster))
+          procs
+  end;
+  if Float.is_finite start && not (start >=. release) then
+    emit
+      (Diagnostic.error ~app ~node ~window:(release, start) Rule.Map_release
+         "starts at %g before the release at %g" start release)
+
+let precedence_cost ?platform (ru : Trace.row) (rv : Trace.row) ~bytes =
+  if bytes <= 0. || ru.Trace.virt || rv.Trace.virt then 0.
+  else
+    match platform with
+    | None -> 0.
+    | Some pf ->
+      if
+        ru.Trace.cluster = rv.Trace.cluster
+        && Redistribution.same_procs ru.Trace.procs rv.Trace.procs
+      then 0.
+      else if
+        ru.Trace.cluster < 0
+        || ru.Trace.cluster >= P.cluster_count pf
+        || rv.Trace.cluster < 0
+        || rv.Trace.cluster >= P.cluster_count pf
+      then 0. (* Map_cluster already fired; avoid a cascade *)
+      else
+        Redistribution.transfer_time pf ~src_cluster:ru.Trace.cluster
+          ~dst_cluster:rv.Trace.cluster
+          ~src_procs:(max 1 (Array.length ru.Trace.procs))
+          ~dst_procs:(max 1 (Array.length rv.Trace.procs))
+          ~bytes
+
+let check_app ~emit ?platform ?ref_cluster (a : Trace.app) =
+  let app = a.Trace.app in
+  let rows = a.Trace.rows in
+  let tbl = row_map ~emit ~app rows in
+  Array.iter (check_row ~emit ~app ?platform ~release:a.Trace.release) rows;
+  (* MAP001: the recorded makespan is the last finish. *)
+  (match a.Trace.makespan with
+  | Some m when Array.length rows > 0 ->
+    let last =
+      Array.fold_left
+        (fun acc (r : Trace.row) -> Float.max acc r.Trace.finish)
+        neg_infinity rows
+    in
+    if Float.is_finite last && not (approx_eq m last) then
+      emit
+        (Diagnostic.error ~app Rule.Map_structure
+           "makespan %g differs from the last finish %g" m last)
+  | _ -> ());
+  (* Rebuild the DAG from the embedded predecessor lists (JSON traces). *)
+  let n =
+    Array.fold_left
+      (fun acc (r : Trace.row) ->
+        Array.fold_left
+          (fun acc (p : Trace.pred) -> max acc p.Trace.pred_node)
+          (max acc r.Trace.node) r.Trace.preds)
+      (-1) rows
+    + 1
+  in
+  let edges =
+    Array.to_list rows
+    |> List.concat_map (fun (r : Trace.row) ->
+           Array.to_list r.Trace.preds
+           |> List.map (fun (p : Trace.pred) ->
+                  (p.Trace.pred_node, r.Trace.node, p.Trace.bytes)))
+  in
+  let dag =
+    if edges = [] then None else Dag_check.check_edges ~emit ~app ~n edges
+  in
+  (* MAP005 with whatever cost model the inputs allow. *)
+  Array.iter
+    (fun (rv : Trace.row) ->
+      Array.iter
+        (fun (p : Trace.pred) ->
+          match Hashtbl.find_opt tbl p.Trace.pred_node with
+          | None ->
+            emit
+              (Diagnostic.error ~app ~node:rv.Trace.node Rule.Map_structure
+                 "predecessor %d has no row" p.Trace.pred_node)
+          | Some ru ->
+            let cost = precedence_cost ?platform ru rv ~bytes:p.Trace.bytes in
+            let ready = ru.Trace.finish +. cost in
+            if
+              Float.is_finite rv.Trace.start
+              && Float.is_finite ready
+              && not (rv.Trace.start >=. ready)
+            then
+              emit
+                (Diagnostic.error ~app ~node:rv.Trace.node
+                   ~window:(rv.Trace.start, ready) Rule.Map_precedence
+                   "starts at %g but predecessor %d finishes at %g (+%g \
+                    redistribution)"
+                   rv.Trace.start p.Trace.pred_node ru.Trace.finish cost))
+        rv.Trace.preds)
+    rows;
+  (* β and allocation metadata, when the trace carries them. *)
+  Option.iter (fun beta -> Alloc_check.check_beta ~emit ~app beta) a.Trace.beta;
+  let is_virtual v =
+    match Hashtbl.find_opt tbl v with
+    | Some (r : Trace.row) -> r.Trace.virt
+    | None -> false
+  in
+  (match (a.Trace.alloc, platform, ref_cluster) with
+  | Some alloc, Some pf, Some rc ->
+    if Array.length alloc <> n then
+      emit
+        (Diagnostic.error ~app Rule.Alloc_bounds
+           "alloc metadata has %d entries for %d nodes" (Array.length alloc)
+           n)
+    else begin
+      Alloc_check.check_bounds ~emit ~app
+        ~max_allocation:(Reference_cluster.max_allocation rc pf)
+        ~is_virtual alloc;
+      (match (a.Trace.beta, dag) with
+      | Some beta, Some dag ->
+        Alloc_check.check_level_share ~emit ~app
+          ~ref_procs:rc.Reference_cluster.procs ~beta ~dag ~is_virtual alloc
+      | _ -> ());
+      (* MAP006 for non-pinned rows. *)
+      let pinned_nodes =
+        Array.to_list a.Trace.pinned
+        |> List.map (fun (r : Trace.row) -> r.Trace.node)
+      in
+      Array.iter
+        (fun (r : Trace.row) ->
+          if
+            (not r.Trace.virt)
+            && (not (List.mem r.Trace.node pinned_nodes))
+            && r.Trace.node < n
+            && r.Trace.cluster >= 0
+            && r.Trace.cluster < P.cluster_count pf
+          then begin
+            let limit =
+              Reference_cluster.translate rc pf ~cluster:r.Trace.cluster
+                alloc.(r.Trace.node)
+            in
+            if Array.length r.Trace.procs > limit then
+              emit
+                (Diagnostic.error ~app ~node:r.Trace.node Rule.Map_packing
+                   "holds %d processors, allocation translates to %d"
+                   (Array.length r.Trace.procs)
+                   limit)
+          end)
+        rows
+    end
+  | _ -> ());
+  (* ON001: pinned metadata must reappear verbatim among the rows. *)
+  Array.iter
+    (fun (pin : Trace.row) ->
+      match Hashtbl.find_opt tbl pin.Trace.node with
+      | None ->
+        emit
+          (Diagnostic.error ~app ~node:pin.Trace.node
+             Rule.Online_pin_stability "pinned task has no placement row")
+      | Some (r : Trace.row) ->
+        if
+          r.Trace.cluster <> pin.Trace.cluster
+          || r.Trace.procs <> pin.Trace.procs
+          || not (approx_eq r.Trace.start pin.Trace.start)
+          || not (approx_eq r.Trace.finish pin.Trace.finish)
+        then
+          emit
+            (Diagnostic.error ~app ~node:pin.Trace.node
+               ~window:(pin.Trace.start, pin.Trace.finish)
+               Rule.Online_pin_stability
+               "pinned at %g..%g on cluster %d but recorded at %g..%g on \
+                cluster %d"
+               pin.Trace.start pin.Trace.finish pin.Trace.cluster
+               r.Trace.start r.Trace.finish r.Trace.cluster))
+    a.Trace.pinned
+
+let lint ?platform (doc : Trace.doc) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let ref_cluster = Option.map Reference_cluster.of_platform platform in
+  Array.iter (fun a -> check_app ~emit ?platform ?ref_cluster a) doc;
+  let betas =
+    Array.of_list
+      (List.filter_map (fun (a : Trace.app) -> a.Trace.beta)
+         (Array.to_list doc))
+  in
+  Alloc_check.check_beta_sum ~emit ~severity:Diagnostic.Warning betas;
+  let intervals =
+    Array.to_list doc
+    |> List.concat_map (fun (a : Trace.app) ->
+           Array.to_list a.Trace.rows
+           |> List.concat_map (fun (r : Trace.row) ->
+                  if
+                    Float.is_finite r.Trace.start
+                    && Float.is_finite r.Trace.finish
+                  then
+                    Array.to_list r.Trace.procs
+                    |> List.map (fun p ->
+                           {
+                             Sched_check.proc = p;
+                             start = r.Trace.start;
+                             finish = r.Trace.finish;
+                             app = a.Trace.app;
+                             node = r.Trace.node;
+                           })
+                  else []))
+  in
+  Sched_check.check_overlap ~emit intervals;
+  List.rev !diags

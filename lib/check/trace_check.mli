@@ -1,0 +1,26 @@
+(** Offline linting of exported traces ({!Mcs_sched.Trace.doc}) — the
+    engine behind the [mcs_check] executable.
+
+    A trace carries less than a live pipeline, so the rule set adapts
+    to what the file actually contains:
+
+    - structural, virtual-task, overlap and release rules always run;
+    - DAG rules and the precedence rule need the per-task [preds] that
+      {!Mcs_sched.Trace.to_json} embeds (CSV traces have none);
+      DAG002 (single entry/exit) is skipped — a trace legitimately
+      lists only the placements it has;
+    - cluster-membership, redistribution-aware precedence and packing
+      bounds need a [platform] (the [--site] option of the CLI);
+      without one, precedence degrades to the zero-cost bound
+      [finish(pred) ≤ start];
+    - β range and pinned-stability rules fire when the trace carries
+      the corresponding metadata; Σβ ≤ 1 is a {e warning} here because
+      the strategy (Selfish allows Σβ > 1) is not recorded;
+    - the SCRAP-MAX level rule (ALLOC002) runs only when platform, β,
+      allocation and [preds] are all available — attaching full
+      metadata to a trace is a claim of SCRAP-MAX compliance. *)
+
+val lint :
+  ?platform:Mcs_platform.Platform.t ->
+  Mcs_sched.Trace.doc ->
+  Diagnostic.t list

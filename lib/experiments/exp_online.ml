@@ -58,15 +58,21 @@ let scenario_metrics platform ptgs ~release =
       (fun strategy ->
         List.map
           (fun mode ->
+            (* Both modes run under the invariant analyzer: a broken
+               schedule aborts the experiment instead of skewing it. *)
             let schedules =
               match mode with
               | Offline ->
-                Pipeline.schedule_concurrent ~release ~strategy platform ptgs
+                Pipeline.schedule_concurrent ~release
+                  ~check:
+                    (Mcs_check.Check.pipeline_hook ~release ~strategy platform)
+                  ~strategy platform ptgs
               | Online ->
                 let apps =
                   List.mapi (fun i ptg -> (ptg, release.(i))) ptgs
                 in
-                (Engine.run ~policy:(Policy.make strategy) platform apps)
+                (Engine.run ~check:Mcs_check.Check.fail_on_error
+                   ~policy:(Policy.make strategy) platform apps)
                   .Engine.schedules
             in
             let unfairness, global = evaluate schedules in

@@ -1,6 +1,3 @@
-module P = Mcs_platform.Platform
-module Prng = Mcs_prng.Prng
-module Ptg = Mcs_ptg.Ptg
 module Schedule = Mcs_sched.Schedule
 module Mheft = Mcs_sched.Mheft
 module Pipeline = Mcs_sched.Pipeline

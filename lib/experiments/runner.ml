@@ -25,7 +25,8 @@ let makespan_alone ?config ?(timing = Simulated) platform ptg =
   | Estimated -> sched.Schedule.makespan
   | Simulated -> (simulated_makespans platform [ sched ]).(0)
 
-let evaluate ?config ?(timing = Simulated) ?release platform ptgs strategies =
+let evaluate ?config ?(timing = Simulated) ?release ?(check = true) platform
+    ptgs strategies =
   if ptgs = [] then invalid_arg "Runner.evaluate: no applications";
   let own =
     Array.of_list
@@ -38,8 +39,22 @@ let evaluate ?config ?(timing = Simulated) ?release platform ptgs strategies =
   in
   List.map
     (fun strategy ->
+      (* Fail fast on broken invariants: experiment numbers computed
+         from an illegal schedule are worse than no numbers. *)
+      let checker =
+        if check then
+          let procedure =
+            (Option.value config ~default:Pipeline.default_config)
+              .Pipeline.procedure
+          in
+          Some
+            (Mcs_check.Check.pipeline_hook ~procedure ?release ~strategy
+               platform)
+        else None
+      in
       let schedules =
-        Pipeline.schedule_concurrent ?config ?release ~strategy platform ptgs
+        Pipeline.schedule_concurrent ?config ?release ?check:checker ~strategy
+          platform ptgs
       in
       let makespans =
         response

@@ -30,6 +30,7 @@ val evaluate :
   ?config:Mcs_sched.Pipeline.config ->
   ?timing:timing ->
   ?release:float array ->
+  ?check:bool ->
   Mcs_platform.Platform.t ->
   Mcs_ptg.Ptg.t list ->
   Mcs_sched.Strategy.t list ->
@@ -38,4 +39,9 @@ val evaluate :
     [Simulated]). The M_own baselines are computed once. With
     [release], applications are submitted at the given times and each
     per-application makespan is its response time (completion −
-    submission). *)
+    submission).
+
+    [check] (default [true]) runs the invariant analyzer over every
+    produced schedule set and raises {!Mcs_check.Check.Violation} on
+    any error-severity diagnostic — metrics are never computed from an
+    illegal schedule. *)

@@ -32,7 +32,7 @@ let merge_trigger cur cand =
   | None -> Some cand
   | Some t -> if trigger_rank cand > trigger_rank t then Some cand else cur
 
-let run ?log ~policy platform apps =
+let run ?log ?check ~policy platform apps =
   let state = State.create platform apps in
   let q = Event_queue.create () in
   let emit e = match log with Some f -> f e | None -> () in
@@ -113,6 +113,34 @@ let run ?log ~policy platform apps =
             Array.map Option.some sched.Schedule.placements)
         active schedules;
       let remapped = !total - frozen in
+      (* Hand the invariant analyzer a snapshot of what this reschedule
+         decided: it re-verifies the pinning, β and mapping rules and
+         reports to the caller's sink. *)
+      (match check with
+      | None -> ()
+      | Some f ->
+        let snap_apps =
+          List.mapi
+            (fun j (app, sched) ->
+              {
+                Mcs_check.Online_check.index = app.State.index;
+                ptg = app.State.ptg;
+                release = app.State.release;
+                beta = app.State.beta;
+                alloc = prepared.Pipeline.allocations.(j).Allocation.procs;
+                pinned = pinned.(j);
+                schedule = sched;
+              })
+            (List.combine active schedules)
+        in
+        f
+          (Mcs_check.Online_check.analyze platform
+             {
+               Mcs_check.Online_check.now = state.State.now;
+               strategy = policy.Policy.strategy;
+               procedure = policy.Policy.config.Pipeline.procedure;
+               apps = snap_apps;
+             }));
       state.State.version <- state.State.version + 1;
       state.State.reschedules <- state.State.reschedules + 1;
       state.State.remapped_tasks <- state.State.remapped_tasks + remapped;

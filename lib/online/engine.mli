@@ -44,6 +44,7 @@ type result = {
 
 val run :
   ?log:(Log.event -> unit) ->
+  ?check:(Mcs_check.Diagnostic.t list -> unit) ->
   policy:Policy.t ->
   Mcs_platform.Platform.t ->
   (Mcs_ptg.Ptg.t * float) list ->
@@ -51,5 +52,13 @@ val run :
 (** [run ~policy platform apps] executes the submission stream [apps]
     (each PTG paired with its release time, any order of times) to
     completion. [log] receives every event in virtual-time order.
+
+    [check] receives, after every reschedule, the diagnostics of
+    {!Mcs_check.Online_check.analyze} over a snapshot of that
+    reschedule — pin stability, β-over-active-set, no time travel, plus
+    the full allocation and mapping rule sets. An empty list means the
+    generation is clean. Pass
+    [fun d -> Mcs_check.Check.fail_on_error d] to turn any violation
+    into an exception.
     @raise Invalid_argument on an empty list or an ill-formed release
     time. *)

@@ -1,5 +1,4 @@
 module Dag = Mcs_dag.Dag
-module Task = Mcs_taskmodel.Task
 
 type t = {
   tasks : int;

@@ -1,6 +1,5 @@
 module Dag = Mcs_dag.Dag
 module Ptg = Mcs_ptg.Ptg
-module Task = Mcs_taskmodel.Task
 
 type procedure = Scrap | Scrap_max
 

@@ -26,8 +26,8 @@ let prepare ?(config = default_config) ~strategy platform ptgs =
   in
   { betas; allocations }
 
-let schedule_concurrent ?(config = default_config) ?release ~strategy platform
-    ptgs =
+let schedule_concurrent ?(config = default_config) ?release ?check ~strategy
+    platform ptgs =
   let ref_cluster = Reference_cluster.of_platform platform in
   let prepared = prepare ~config ~strategy platform ptgs in
   let apps =
@@ -35,7 +35,11 @@ let schedule_concurrent ?(config = default_config) ?release ~strategy platform
       (fun i ptg -> (ptg, prepared.allocations.(i).Allocation.procs))
       ptgs
   in
-  List_mapper.run ~options:config.mapper ?release platform ref_cluster apps
+  let schedules =
+    List_mapper.run ~options:config.mapper ?release platform ref_cluster apps
+  in
+  (match check with Some f -> f ~prepared schedules | None -> ());
+  schedules
 
 let schedule_alone ?(config = default_config) platform ptg =
   match

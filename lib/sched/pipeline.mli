@@ -25,13 +25,20 @@ val prepare :
 val schedule_concurrent :
   ?config:config ->
   ?release:float array ->
+  ?check:(prepared:prepared -> Schedule.t list -> unit) ->
   strategy:Strategy.t ->
   Mcs_platform.Platform.t ->
   Mcs_ptg.Ptg.t list ->
   Schedule.t list
 (** Allocate each PTG under its strategy-determined β, then map all of
     them concurrently. Schedules are returned in input order.
-    [release] gives per-application submission times (default all 0). *)
+    [release] gives per-application submission times (default all 0).
+
+    [check] is called once with the allocation step's output and the
+    final schedules, before they are returned — a seam for the
+    invariant analyzer ([Mcs_check.Check.pipeline_hook] raises on any
+    violated rule) that keeps this library free of a dependency on the
+    checker. Exceptions it raises propagate. *)
 
 val schedule_alone :
   ?config:config ->
