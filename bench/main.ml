@@ -148,6 +148,99 @@ let run_online () =
     [ 2; 4; 6; 8; 10; 16 ];
   Mcs_util.Table.print table
 
+(* ---------- Pipeline phase baseline (BENCH_pipeline.json) ---------- *)
+
+module Obs = Mcs_obs.Obs
+module Export = Mcs_obs.Export
+module Names = Mcs_obs.Names
+module Jsonx = Mcs_util.Jsonx
+
+let pipeline_baseline_file = "BENCH_pipeline.json"
+
+(* One profiled offline evaluation plus one online run: between them
+   they exercise every phase registered in [Mcs_obs.Names]. The
+   aggregated per-phase self-times become the committed
+   BENCH_pipeline.json baseline. The emitter re-reads the file and fails
+   when it does not parse or any registered phase is missing — the CI
+   smoke step relies on that exit code. *)
+let emit_pipeline_baseline () =
+  let platform = Mcs_platform.Grid5000.rennes () in
+  let seed = 11 in
+  let rng = Mcs_prng.Prng.create ~seed in
+  let ptgs =
+    List.init 6 (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+  in
+  Obs.enable ();
+  ignore (E.Runner.evaluate platform ptgs [ Strategy.Equal_share ]);
+  let apps = List.mapi (fun i p -> (p, 15. *. float_of_int i)) ptgs in
+  let policy = Mcs_online.Policy.make Strategy.Equal_share in
+  ignore (Mcs_online.Engine.run ~policy platform apps);
+  Obs.disable ();
+  let phases =
+    Jsonx.Arr
+      (List.map
+         (fun (r : Export.row) ->
+           Jsonx.Obj
+             [
+               ("name", Jsonx.Str r.Export.phase);
+               ("calls", Jsonx.Num (float_of_int r.Export.calls));
+               ("total_s", Jsonx.Num r.Export.total_s);
+               ("self_s", Jsonx.Num r.Export.self_s);
+               ("alloc_words", Jsonx.Num r.Export.alloc_w);
+             ])
+         (Export.profile_rows ()))
+  in
+  let counters =
+    Jsonx.Obj
+      (List.map
+         (fun (name, v) -> (name, Jsonx.Num (float_of_int v)))
+         (Obs.counter_values ()))
+  in
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.Str "mcs-bench-pipeline/1");
+        ("site", Jsonx.Str "rennes");
+        ("apps", Jsonx.Num (float_of_int (List.length ptgs)));
+        ("seed", Jsonx.Num (float_of_int seed));
+        ("strategy", Jsonx.Str (Strategy.name Strategy.Equal_share));
+        ("phases", phases);
+        ("counters", counters);
+      ]
+  in
+  let oc = open_out pipeline_baseline_file in
+  output_string oc (Jsonx.encode doc);
+  output_char oc '\n';
+  close_out oc;
+  let contents =
+    let ic = open_in pipeline_baseline_file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Jsonx.parse contents with
+  | Error m ->
+    Printf.eprintf "%s does not parse: %s\n" pipeline_baseline_file m;
+    exit 1
+  | Ok doc ->
+    let present =
+      match Jsonx.get_list "phases" doc with
+      | None -> []
+      | Some l -> List.filter_map (Jsonx.get_string "name") l
+    in
+    let missing =
+      List.filter (fun p -> not (List.mem p present)) Names.phase_names
+    in
+    if missing <> [] then begin
+      Printf.eprintf "%s: missing phases: %s\n" pipeline_baseline_file
+        (String.concat " " missing);
+      exit 1
+    end;
+    Printf.printf "wrote %s (%d phases, %d counters)\n\n%!"
+      pipeline_baseline_file (List.length present)
+      (List.length (Obs.counter_values ()))
+
 let run_micro () =
   let open Bechamel in
   section "Microbenchmarks (bechamel; one per pipeline stage)";
@@ -187,7 +280,8 @@ let run_micro () =
       in
       Mcs_util.Table.add_row table [ name; human ])
     (List.sort compare !rows);
-  Mcs_util.Table.print table
+  Mcs_util.Table.print table;
+  emit_pipeline_baseline ()
 
 (* ---------- Experiment dispatch ---------- *)
 

@@ -7,7 +7,8 @@ module E = Mcs_experiments
 
 let print_tables tables = List.iter Mcs_util.Table.print tables
 
-let run_experiment id runs =
+let run_experiment id runs profile profile_format =
+  Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let runs = if runs <= 0 then None else Some runs in
   match String.lowercase_ascii id with
   | "table1" | "t1" -> Mcs_util.Table.print (E.Table1.table ())
@@ -42,6 +43,10 @@ let runs =
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
-  Cmd.v (Cmd.info "mcs_experiments" ~doc) Term.(const run_experiment $ id $ runs)
+  Cmd.v
+    (Cmd.info "mcs_experiments" ~doc)
+    Term.(
+      const run_experiment $ id $ runs $ Obs_cli.profile
+      $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

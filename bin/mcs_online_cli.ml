@@ -37,7 +37,8 @@ let write_file path contents =
   Printf.eprintf "wrote %s\n" path
 
 let run site strategy family count seed mean_interarrival static csv json
-    gantt check =
+    gantt check profile profile_format =
+  Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
     | Some p -> p
@@ -179,6 +180,7 @@ let cmd =
     (Cmd.info "mcs_online" ~doc)
     Term.(
       const run $ site $ strategy $ family $ count $ seed $ mean_interarrival
-      $ static $ csv $ json $ gantt $ check)
+      $ static $ csv $ json $ gantt $ check $ Obs_cli.profile
+      $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

@@ -33,7 +33,8 @@ let write_file path contents =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let run site strategy family count seed csv json check =
+let run site strategy family count seed csv json check profile profile_format =
+  Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
     | Some p -> p
@@ -141,6 +142,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mcs_sched" ~doc)
     Term.(
-      const run $ site $ strategy $ family $ count $ seed $ csv $ json $ check)
+      const run $ site $ strategy $ family $ count $ seed $ csv $ json $ check
+      $ Obs_cli.profile $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

@@ -4,6 +4,11 @@ module Strategy = Mcs_sched.Strategy
 module Allocation = Mcs_sched.Allocation
 module Pipeline = Mcs_sched.Pipeline
 module Reference_cluster = Mcs_sched.Reference_cluster
+module Obs = Mcs_obs.Obs
+
+let c_analyses = Obs.counter "check.analyses"
+let c_rules = Obs.counter "check.rules"
+let c_diagnostics = Obs.counter "check.diagnostics"
 
 exception Violation of Diagnostic.t list
 
@@ -22,8 +27,15 @@ let analyze ?strategy ?(procedure = Allocation.Scrap_max) ?betas ?allocations
   check_length "allocations" count allocations;
   check_length "release" count release;
   check_length "pinned" count pinned;
+  Obs.with_span "check.analyze" @@ fun () ->
+  Obs.incr c_analyses;
+  (* One analysis pass evaluates the whole rule registry. *)
+  Obs.incr ~by:(List.length Rule.all) c_rules;
   let diags = ref [] in
-  let emit d = diags := d :: !diags in
+  let emit d =
+    Obs.incr c_diagnostics;
+    diags := d :: !diags
+  in
   let ref_cluster = Reference_cluster.of_platform platform in
   let max_allocation = Reference_cluster.max_allocation ref_cluster platform in
   List.iteri

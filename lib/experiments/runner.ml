@@ -3,6 +3,7 @@ module Schedule = Mcs_sched.Schedule
 module Strategy = Mcs_sched.Strategy
 module Metrics = Mcs_metrics.Metrics
 module Floatx = Mcs_util.Floatx
+module Obs = Mcs_obs.Obs
 
 type timing = Estimated | Simulated
 
@@ -16,6 +17,7 @@ type run_metrics = {
 }
 
 let simulated_makespans ?release platform schedules =
+  Obs.with_span "sim.replay" @@ fun () ->
   let sim = Mcs_sim.Replay.run ?release platform schedules in
   sim.Mcs_sim.Replay.makespans
 
@@ -28,7 +30,9 @@ let makespan_alone ?config ?(timing = Simulated) platform ptg =
 let evaluate ?config ?(timing = Simulated) ?release ?(check = true) platform
     ptgs strategies =
   if ptgs = [] then invalid_arg "Runner.evaluate: no applications";
+  Obs.with_span "runner.evaluate" @@ fun () ->
   let own =
+    Obs.with_span "runner.baselines" @@ fun () ->
     Array.of_list
       (List.map (fun ptg -> makespan_alone ?config ~timing platform ptg) ptgs)
   in

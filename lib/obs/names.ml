@@ -1,0 +1,43 @@
+let phases =
+  [
+    ( "runner.evaluate",
+      "one scenario evaluated under a list of strategies (experiments)" );
+    ( "runner.baselines",
+      "dedicated-platform M_own runs shared by every strategy" );
+    ("pipeline.schedule", "two-step schedule of one concurrent batch");
+    ("pipeline.allocation", "beta determination + per-PTG allocation step");
+    ("alloc.scrap", "one SCRAP(-MAX) allocation loop over one PTG");
+    ("mapper.run", "concurrent list mapping of one application batch");
+    ("mapper.prepare", "mapper state setup: topo ranks, bottom levels");
+    ("mapper.place", "placement of one ready task (search over clusters)");
+    ("mapper.packing", "allocation-packing search of one task placement");
+    ("check.analyze", "invariant analyzer pass over one schedule set");
+    ("sim.replay", "discrete-event replay of a schedule set");
+    ("online.run", "one full online-engine run in virtual time");
+    ("online.event", "handling of one non-stale online event");
+    ("online.reschedule", "one rescheduling generation (beta + remap)");
+  ]
+
+let counters =
+  [
+    ("alloc.calls", "SCRAP(-MAX) allocation procedures run");
+    ("alloc.increments", "+1-processor increments across allocation loops");
+    ("mapper.tasks_mapped", "task placements committed by the list mapper");
+    ("mapper.packing_attempts", "shrunk-allocation candidates evaluated");
+    ("mapper.packing_wins", "packing candidates that beat the full allocation");
+    ("mapper.ready_peak", "high-water mark of the ready-task queue");
+    ("online.events", "non-stale events handled by the online engine");
+    ("online.reschedules", "rescheduling generations across engine runs");
+    ("online.remapped", "placements recomputed by online reschedules");
+    ("check.analyses", "invariant analyzer passes");
+    ("check.rules", "rules evaluated across analyzer passes");
+    ("check.diagnostics", "diagnostics emitted by the analyzer");
+  ]
+
+let phase_names = List.map fst phases
+let counter_names = List.map fst counters
+
+let describe name =
+  match List.assoc_opt name phases with
+  | Some d -> Some d
+  | None -> List.assoc_opt name counters

@@ -1,0 +1,24 @@
+(** Registry of canonical span (phase) and counter names.
+
+    Instrumented modules use these names as string literals; this
+    module is the single documented list, used by DESIGN.md section 9,
+    by the bench harness to validate that [BENCH_pipeline.json] covers
+    every phase, and by the test suite. Every name here is guaranteed
+    to appear after one offline {!Mcs_experiments.Runner.evaluate} run
+    plus one {!Mcs_online.Engine.run} with profiling enabled. *)
+
+val phases : (string * string) list
+(** Canonical span names with one-line descriptions, in pipeline
+    order. *)
+
+val counters : (string * string) list
+(** Canonical counter names with one-line descriptions. *)
+
+val phase_names : string list
+(** [List.map fst phases]. *)
+
+val counter_names : string list
+(** [List.map fst counters]. *)
+
+val describe : string -> string option
+(** Description of a phase or counter name, if registered. *)

@@ -1,0 +1,128 @@
+type span = {
+  name : string;
+  depth : int;
+  start_s : float;
+  dur_s : float;
+  self_s : float;
+  alloc_w : float;
+}
+
+type counter = {
+  cname : string;
+  mutable value : int;
+}
+
+type frame = {
+  fname : string;
+  fdepth : int;
+  fstart : float;
+  fwords : float;
+  mutable child_dur : float;
+}
+
+(* Single recorder per process, owned by the domain that enabled it.
+   Spans and counter updates from other domains are dropped rather than
+   raced: the scheduling pipelines this library instruments are
+   single-domain, and [Mcs_util.Parmap] workers would otherwise corrupt
+   the frame stack. *)
+let on = ref false
+let owner : Domain.id option ref = ref None
+let epoch = ref 0.
+let stack : frame list ref = ref []
+let completed : span list ref = ref [] (* reverse completion order *)
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = !on
+
+let owned () =
+  match !owner with Some d -> Domain.self () = d | None -> false
+
+let now () = Unix.gettimeofday ()
+
+(* Words allocated since program start: minor + major - promoted. *)
+let words () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
+
+let reset () =
+  stack := [];
+  completed := [];
+  Hashtbl.iter (fun _ c -> c.value <- 0) registry;
+  if !on then epoch := now ()
+
+let enable () =
+  on := true;
+  owner := Some (Domain.self ());
+  reset ()
+
+let disable () =
+  on := false;
+  stack := []
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; value = 0 } in
+    Hashtbl.add registry name c;
+    c
+
+let incr ?(by = 1) c = if !on && owned () then c.value <- c.value + by
+
+let record_max c v =
+  if !on && owned () && v > c.value then c.value <- v
+
+let value c = c.value
+
+let counter_values () =
+  Hashtbl.fold (fun _ c acc -> (c.cname, c.value) :: acc) registry []
+  |> List.sort compare
+
+let enter name =
+  if !on && owned () then
+    stack :=
+      {
+        fname = name;
+        fdepth = List.length !stack;
+        fstart = now ();
+        fwords = words ();
+        child_dur = 0.;
+      }
+      :: !stack
+
+let leave () =
+  if !on && owned () then
+    match !stack with
+    | [] -> ()
+    | f :: rest ->
+      let dur = Float.max 0. (now () -. f.fstart) in
+      let alloc = Float.max 0. (words () -. f.fwords) in
+      (match rest with
+      | parent :: _ -> parent.child_dur <- parent.child_dur +. dur
+      | [] -> ());
+      stack := rest;
+      completed :=
+        {
+          name = f.fname;
+          depth = f.fdepth;
+          start_s = f.fstart -. !epoch;
+          dur_s = dur;
+          self_s = Float.max 0. (dur -. f.child_dur);
+          alloc_w = alloc;
+        }
+        :: !completed
+
+let with_span name f =
+  if not (!on && owned ()) then f ()
+  else begin
+    enter name;
+    match f () with
+    | v ->
+      leave ();
+      v
+    | exception e ->
+      leave ();
+      raise e
+  end
+
+let spans () = List.rev !completed

@@ -4,6 +4,11 @@ module Pipeline = Mcs_sched.Pipeline
 module List_mapper = Mcs_sched.List_mapper
 module Allocation = Mcs_sched.Allocation
 module Floatx = Mcs_util.Floatx
+module Obs = Mcs_obs.Obs
+
+let c_events = Obs.counter "online.events"
+let c_reschedules = Obs.counter "online.reschedules"
+let c_remapped = Obs.counter "online.remapped"
 
 type stats = {
   events_processed : int;
@@ -33,6 +38,7 @@ let merge_trigger cur cand =
   | Some t -> if trigger_rank cand > trigger_rank t then Some cand else cur
 
 let run ?log ?check ~policy platform apps =
+  Obs.with_span "online.run" @@ fun () ->
   let state = State.create platform apps in
   let q = Event_queue.create () in
   let emit e = match log with Some f -> f e | None -> () in
@@ -71,6 +77,7 @@ let run ?log ?check ~policy platform apps =
       (State.active state)
   in
   let reschedule ~trigger =
+    Obs.with_span "online.reschedule" @@ fun () ->
     match State.active state with
     | [] -> ()
     | active ->
@@ -144,6 +151,8 @@ let run ?log ?check ~policy platform apps =
       state.State.version <- state.State.version + 1;
       state.State.reschedules <- state.State.reschedules + 1;
       state.State.remapped_tasks <- state.State.remapped_tasks + remapped;
+      Obs.incr c_reschedules;
+      Obs.incr ~by:remapped c_remapped;
       announce ();
       emit
         (Log.Reschedule
@@ -164,7 +173,9 @@ let run ?log ?check ~policy platform apps =
   in
   let handle ev trigger =
     incr processed;
-    match ev.Event_queue.kind with
+    Obs.enter "online.event";
+    Obs.incr c_events;
+    (match ev.Event_queue.kind with
     | Event_queue.Arrival i ->
       let app = state.State.apps.(i) in
       app.State.status <- State.Active;
@@ -193,7 +204,8 @@ let run ?log ?check ~policy platform apps =
              response = ev.Event_queue.time -. app.State.release;
            });
       if policy.Policy.reschedule_on_departure then
-        trigger := merge_trigger !trigger "departure"
+        trigger := merge_trigger !trigger "departure");
+    Obs.leave ()
   in
   let rec loop () =
     match Event_queue.pop q with

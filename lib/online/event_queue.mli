@@ -29,17 +29,24 @@ type event = {
 type t
 
 val create : unit -> t
+(** Fresh empty queue with the insertion sequence at zero. *)
 
 val push : t -> time:float -> version:int -> kind -> unit
 (** @raise Invalid_argument on a negative or non-finite time. *)
 
 val pop : t -> event option
+(** Remove and return the next event in (time, kind, insertion) order,
+    or [None] when the queue is empty. Staleness is the caller's
+    concern: popped events still carry their announcement version. *)
 
 val peek : t -> event option
+(** The event {!pop} would return, without removing it. *)
 
 val is_empty : t -> bool
+(** Whether no event is pending. *)
 
 val length : t -> int
+(** Number of pending events (stale ones included until popped). *)
 
 val pushed : t -> int
 (** Total number of events ever pushed — the event-throughput counter

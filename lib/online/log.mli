@@ -28,6 +28,7 @@ type event =
     }
 
 val time : event -> float
+(** Virtual time of the record, whatever its variant. *)
 
 val to_json : event -> string
 (** One-line JSON object with an ["event"] discriminator field. *)

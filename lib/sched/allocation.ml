@@ -1,5 +1,9 @@
 module Dag = Mcs_dag.Dag
 module Ptg = Mcs_ptg.Ptg
+module Obs = Mcs_obs.Obs
+
+let c_calls = Obs.counter "alloc.calls"
+let c_increments = Obs.counter "alloc.increments"
 
 type procedure = Scrap | Scrap_max
 
@@ -48,6 +52,8 @@ let respects_level_constraint ref_cluster ~beta ptg procs =
 let allocate ?(procedure = Scrap_max) ref_cluster platform ~beta ptg =
   if beta <= 0. || beta > 1. then
     invalid_arg (Printf.sprintf "Allocation.allocate: beta = %g" beta);
+  Obs.with_span "alloc.scrap" @@ fun () ->
+  Obs.incr c_calls;
   let dag = ptg.Ptg.dag in
   let n = Dag.node_count dag in
   let levels = Dag.depth_levels dag in
@@ -117,6 +123,7 @@ let allocate ?(procedure = Scrap_max) ref_cluster platform ~beta ptg =
         procs.(v) <- procs.(v) + 1;
         usage.(levels.(v)) <- usage.(levels.(v)) + 1;
         refresh_exec v;
+        Obs.incr c_increments;
         incr iterations
     end
   done;

@@ -4,6 +4,12 @@ module P = Mcs_platform.Platform
 module Task = Mcs_taskmodel.Task
 module Redistribution = Mcs_taskmodel.Redistribution
 module Floatx = Mcs_util.Floatx
+module Obs = Mcs_obs.Obs
+
+let c_tasks_mapped = Obs.counter "mapper.tasks_mapped"
+let c_packing_attempts = Obs.counter "mapper.packing_attempts"
+let c_packing_wins = Obs.counter "mapper.packing_wins"
+let c_ready_peak = Obs.counter "mapper.ready_peak"
 
 type ordering = Ready_tasks | Global_fcfs | Global_backfill
 
@@ -232,13 +238,19 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
         (* The allocation may shrink only if the task then starts
            strictly earlier and finishes no later than with its original
            allocation (Section 5). *)
+        Obs.enter "mapper.packing";
         for p' = needed - 1 downto 1 do
+          Obs.incr c_packing_attempts;
           let cand = candidate_for p' in
           if
             cand.start < full.start -. Floatx.eps
             && cand.finish <= full.finish +. Floatx.eps
-          then best := better_candidate !best (Some cand)
-        done
+          then begin
+            Obs.incr c_packing_wins;
+            best := better_candidate !best (Some cand)
+          end
+        done;
+        Obs.leave ()
       end
     done;
     match !best with
@@ -354,6 +366,7 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
 let run ?(options = default_options) ?release ?pinned ?avail platform
     ref_cluster apps =
   if apps = [] then invalid_arg "List_mapper.run: no applications";
+  Obs.with_span "mapper.run" @@ fun () ->
   let release =
     match release with
     | None -> Array.make (List.length apps) 0.
@@ -367,6 +380,7 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
       Array.copy r
   in
   let states =
+    Obs.with_span "mapper.prepare" @@ fun () ->
     Array.of_list
       (List.map
          (fun (ptg, alloc) ->
@@ -433,6 +447,7 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
   let floor = ref 0. in
   let commit i v =
     let state = states.(i) in
+    Obs.enter "mapper.place";
     let pl =
       match options.ordering with
       | Global_backfill ->
@@ -450,6 +465,7 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
           ~virtual_floor:release.(i)
     in
     state.placements.(v) <- Some pl;
+    if not (Ptg.is_virtual state.ptg v) then Obs.incr c_tasks_mapped;
     (match options.ordering with
     | Global_fcfs ->
       (* No backfilling: later queue entries may not start earlier than
@@ -457,6 +473,7 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
       if not (Ptg.is_virtual state.ptg v) then
         floor := Float.max !floor pl.Schedule.start
     | Ready_tasks | Global_backfill -> ());
+    Obs.leave ();
     pl
   in
   (match options.ordering with
@@ -469,7 +486,8 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
           app = i;
           topo_rank = states.(i).topo_rank.(v);
           node = v;
-        }
+        };
+      Obs.record_max c_ready_peak (Mcs_util.Heap.length heap)
     in
     Array.iteri
       (fun i state ->

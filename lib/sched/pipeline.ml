@@ -12,6 +12,7 @@ type prepared = {
 }
 
 let prepare ?(config = default_config) ~strategy platform ptgs =
+  Mcs_obs.Obs.with_span "pipeline.allocation" @@ fun () ->
   let ref_cluster = Reference_cluster.of_platform platform in
   let betas =
     Strategy.betas strategy ~ref_speed:ref_cluster.Reference_cluster.speed ptgs
@@ -28,6 +29,7 @@ let prepare ?(config = default_config) ~strategy platform ptgs =
 
 let schedule_concurrent ?(config = default_config) ?release ?check ~strategy
     platform ptgs =
+  Mcs_obs.Obs.with_span "pipeline.schedule" @@ fun () ->
   let ref_cluster = Reference_cluster.of_platform platform in
   let prepared = prepare ~config ~strategy platform ptgs in
   let apps =

@@ -8,6 +8,8 @@ type config = {
 }
 
 val default_config : config
+(** The paper's configuration: SCRAP-MAX allocation, ready-list mapping
+    with allocation packing. *)
 
 type prepared = {
   betas : float array;                    (** β per application *)

@@ -15,6 +15,8 @@ type t = private {
 }
 
 val of_platform : Mcs_platform.Platform.t -> t
+(** The reference cluster of a platform: slowest processor speed,
+    [⌊aggregate power / that speed⌋] processors. *)
 
 val make : speed:float -> procs:int -> t
 (** Direct constructor, mainly for tests.

@@ -26,6 +26,7 @@ val make : ptg:Mcs_ptg.Ptg.t -> placements:placement array -> t
     count. *)
 
 val placement : t -> int -> placement
+(** Placement of one DAG node ([placements.(node)]). *)
 
 val busy_time : t -> float
 (** Σ over placements of [(finish − start) × |procs|] — processor time

@@ -20,6 +20,16 @@ val parse : string -> (t, string) result
     of the first offending character. Trailing whitespace is allowed,
     trailing garbage is not. *)
 
+val encode : t -> string
+(** Compact (single-line, no spaces) serialisation of a document, the
+    encoder matching {!parse}: [parse (encode v) = Ok v] for every
+    value whose numbers are finite. Control characters in strings are
+    escaped, other bytes pass through verbatim; integral numbers within
+    [1e15] print without an exponent, other numbers with round-trip
+    precision.
+    @raise Invalid_argument on a NaN or infinite [Num] (JSON has no
+    representation for them). *)
+
 (** {2 Accessors}
 
     All return [None] on a shape mismatch, so client code reads as a

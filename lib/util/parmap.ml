@@ -22,16 +22,18 @@ let map ?domains f l =
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
-        if Atomic.get failure = None then begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i < total then begin
-            (match f items.(i) with
-            | value -> results.(i) <- Some value
-            | exception e ->
-              (* Keep the first failure; losing later ones is fine. *)
-              ignore (Atomic.compare_and_set failure None (Some e)));
-            loop ()
-          end
+        let i = Atomic.fetch_and_add next 1 in
+        (* The cancellation check must come after the fetch so that it
+           covers the index about to be processed: checking before the
+           fetch leaves a window where a worker commits to a fresh item
+           although another worker already failed. *)
+        if i < total && Atomic.get failure = None then begin
+          (match f items.(i) with
+          | value -> results.(i) <- Some value
+          | exception e ->
+            (* Keep the first failure; losing later ones is fine. *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
         end
       in
       loop ()

@@ -26,6 +26,29 @@ let test_exception_propagates () =
            (fun x -> if x = 13 then raise Boom else x)
            (List.init 50 Fun.id)))
 
+(* Fail fast: once one item has failed, workers must stop picking up
+   fresh items. The first item raises immediately while the remaining
+   items sleep, so a worker that re-checked the failure flag after
+   fetching its index skips its item; with the check taken before the
+   fetch, all 64 items would run to completion. *)
+let test_fail_fast_skips_remaining () =
+  let started = Atomic.make 0 in
+  (try
+     ignore
+       (Parmap.map ~domains:4
+          (fun x ->
+            Atomic.incr started;
+            if x = 0 then raise Boom;
+            Unix.sleepf 0.005;
+            x)
+          (List.init 64 Fun.id))
+   with Boom -> ());
+  let started = Atomic.get started in
+  Alcotest.(check bool)
+    (Printf.sprintf "started %d of 64 items" started)
+    true
+    (started < 64)
+
 let test_domain_count_positive () =
   Alcotest.(check bool) "at least one" true (Parmap.domain_count () >= 1)
 
@@ -46,6 +69,8 @@ let suite =
         Alcotest.test_case "empty/singleton" `Quick test_empty_and_singleton;
         Alcotest.test_case "exception propagation" `Quick
           test_exception_propagates;
+        Alcotest.test_case "fail fast skips remaining" `Quick
+          test_fail_fast_skips_remaining;
         Alcotest.test_case "domain count" `Quick test_domain_count_positive;
         QCheck_alcotest.to_alcotest qcheck_parmap_equals_map;
       ] );
