@@ -25,6 +25,23 @@ let print_tables tables = List.iter Mcs_util.Table.print tables
    figure), concurrent mapping (mapping step), discrete-event replay
    (the timing source of Figures 2-5), and the full per-scenario
    pipeline. *)
+(* 20 applications x 100 tasks: the scale where the mapper's former
+   per-task re-sorting dominated (DESIGN.md section 10). *)
+let large_workload platform ref_cluster =
+  let rng = Mcs_prng.Prng.create ~seed:3 in
+  let ptgs =
+    List.init 20 (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng
+          { Mcs_ptg.Random_gen.default with tasks = 100 })
+  in
+  List.map
+    (fun ptg ->
+      let a =
+        Mcs_sched.Allocation.allocate ref_cluster platform ~beta:0.05 ptg
+      in
+      (ptg, a.Mcs_sched.Allocation.procs))
+    ptgs
+
 let micro_tests () =
   let open Bechamel in
   let platform = Mcs_platform.Grid5000.rennes () in
@@ -79,6 +96,11 @@ let micro_tests () =
       Test.make ~name:"mapping-6apps"
         (Staged.stage (fun () ->
              ignore (Mcs_sched.List_mapper.run platform ref_cluster allocations)));
+      Test.make ~name:"mapping-20apps-100tasks"
+        (Staged.stage
+           (let large = large_workload platform ref_cluster in
+            fun () ->
+              ignore (Mcs_sched.List_mapper.run platform ref_cluster large)));
       Test.make ~name:"replay-6apps"
         (Staged.stage (fun () -> ignore (Mcs_sim.Replay.run platform schedules)));
       Test.make ~name:"pipeline-6apps-es"
@@ -165,19 +187,14 @@ let pipeline_baseline_file = "BENCH_pipeline.json"
    smoke step relies on that exit code. *)
 let emit_pipeline_baseline () =
   let platform = Mcs_platform.Grid5000.rennes () in
+  let ref_cluster = Mcs_sched.Reference_cluster.of_platform platform in
   let seed = 11 in
   let rng = Mcs_prng.Prng.create ~seed in
   let ptgs =
     List.init 6 (fun id ->
         Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
   in
-  Obs.enable ();
-  ignore (E.Runner.evaluate platform ptgs [ Strategy.Equal_share ]);
-  let apps = List.mapi (fun i p -> (p, 15. *. float_of_int i)) ptgs in
-  let policy = Mcs_online.Policy.make Strategy.Equal_share in
-  ignore (Mcs_online.Engine.run ~policy platform apps);
-  Obs.disable ();
-  let phases =
+  let phase_rows () =
     Jsonx.Arr
       (List.map
          (fun (r : Export.row) ->
@@ -191,12 +208,27 @@ let emit_pipeline_baseline () =
              ])
          (Export.profile_rows ()))
   in
+  Obs.enable ();
+  ignore (E.Runner.evaluate platform ptgs [ Strategy.Equal_share ]);
+  let apps = List.mapi (fun i p -> (p, 15. *. float_of_int i)) ptgs in
+  let policy = Mcs_online.Policy.make Strategy.Equal_share in
+  ignore (Mcs_online.Engine.run ~policy platform apps);
+  Obs.disable ();
+  let phases = phase_rows () in
   let counters =
     Jsonx.Obj
       (List.map
          (fun (name, v) -> (name, Jsonx.Num (float_of_int v)))
          (Obs.counter_values ()))
   in
+  (* Second profile at mapper-dominated scale: only the mapping step is
+     inside the recorder window, so [large_phases] isolates its cost
+     (DESIGN.md section 10; the compare gate below also covers it). *)
+  let large = large_workload platform ref_cluster in
+  Obs.enable ();
+  ignore (Mcs_sched.List_mapper.run platform ref_cluster large);
+  Obs.disable ();
+  let large_phases = phase_rows () in
   let doc =
     Jsonx.Obj
       [
@@ -207,6 +239,15 @@ let emit_pipeline_baseline () =
         ("strategy", Jsonx.Str (Strategy.name Strategy.Equal_share));
         ("phases", phases);
         ("counters", counters);
+        ( "large_workload",
+          Jsonx.Obj
+            [
+              ("apps", Jsonx.Num 20.);
+              ("tasks", Jsonx.Num 100.);
+              ("seed", Jsonx.Num 3.);
+              ("beta", Jsonx.Num 0.05);
+            ] );
+        ("large_phases", large_phases);
       ]
   in
   let oc = open_out pipeline_baseline_file in
@@ -237,9 +278,86 @@ let emit_pipeline_baseline () =
         (String.concat " " missing);
       exit 1
     end;
-    Printf.printf "wrote %s (%d phases, %d counters)\n\n%!"
+    let large_present =
+      match Jsonx.get_list "large_phases" doc with
+      | None -> []
+      | Some l -> List.filter_map (Jsonx.get_string "name") l
+    in
+    if not (List.mem "mapper.place" large_present) then begin
+      Printf.eprintf "%s: large_phases misses mapper.place\n"
+        pipeline_baseline_file;
+      exit 1
+    end;
+    Printf.printf "wrote %s (%d phases, %d large-workload phases, %d \
+                   counters)\n\n%!"
       pipeline_baseline_file (List.length present)
+      (List.length large_present)
       (List.length (Obs.counter_values ()))
+
+(* ---------- Baseline comparison (CI regression gate) ---------- *)
+
+(* Self times under a millisecond are timer noise on shared runners, so
+   phases below the floor in the reference profile are not gated. *)
+let compare_floor_s = 1e-3
+let compare_tolerance = 0.30
+
+let load_json path =
+  let contents =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  match Jsonx.parse contents with
+  | Ok doc -> doc
+  | Error m ->
+    Printf.eprintf "%s does not parse: %s\n" path m;
+    exit 2
+
+let self_times key doc =
+  match Jsonx.get_list key doc with
+  | None -> []
+  | Some rows ->
+    List.filter_map
+      (fun row ->
+        match (Jsonx.get_string "name" row, Jsonx.get_float "self_s" row) with
+        | Some name, Some self -> Some (name, self)
+        | _ -> None)
+      rows
+
+let run_compare ref_path cur_path =
+  let ref_doc = load_json ref_path and cur_doc = load_json cur_path in
+  let failures = ref 0 in
+  let check_section key =
+    let cur = self_times key cur_doc in
+    List.iter
+      (fun (name, ref_self) ->
+        if ref_self >= compare_floor_s then
+          match List.assoc_opt name cur with
+          | None ->
+            incr failures;
+            Printf.printf "FAIL %s/%s: missing from %s\n" key name cur_path
+          | Some cur_self ->
+            let limit = ref_self *. (1. +. compare_tolerance) in
+            if cur_self > limit then begin
+              incr failures;
+              Printf.printf
+                "FAIL %s/%s: self time %.4f s exceeds %.4f s (ref %.4f s)\n"
+                key name cur_self limit ref_self
+            end
+            else
+              Printf.printf "ok   %s/%s: %.4f s (ref %.4f s)\n" key name
+                cur_self ref_self)
+      (self_times key ref_doc)
+  in
+  check_section "phases";
+  check_section "large_phases";
+  if !failures > 0 then begin
+    Printf.printf "%d phase(s) regressed beyond %.0f%%\n" !failures
+      (100. *. compare_tolerance);
+    exit 1
+  end;
+  Printf.printf "no phase regressed beyond %.0f%%\n" (100. *. compare_tolerance)
 
 let run_micro () =
   let open Bechamel in
@@ -340,6 +458,10 @@ let run_one id =
 
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "compare"; ref_path; cur_path ] -> run_compare ref_path cur_path
+  | _ :: "compare" :: _ ->
+    prerr_endline "usage: bench compare REFERENCE.json CURRENT.json";
+    exit 2
   | _ :: (_ :: _ as ids) -> List.iter run_one ids
   | [ _ ] | [] ->
     Printf.printf

@@ -39,11 +39,10 @@ let check_bounds ~emit ?app ~max_allocation ~is_virtual alloc =
                a max_allocation))
     alloc
 
-let check_level_share ~emit ?app ~ref_procs ~beta ~dag ~is_virtual alloc =
+(* [budget] must come from {!Mcs_sched.Allocation.budget_of} so the
+   checker and the allocator agree on the epsilon-guarded floor. *)
+let check_level_share ~emit ?app ~budget ~beta ~dag ~is_virtual alloc =
   if Float.is_finite beta && beta > 0. then begin
-    let budget =
-      max 1 (int_of_float (Float.floor (beta *. float_of_int ref_procs)))
-    in
     Array.iteri
       (fun level members ->
         let population = ref 0 and usage = ref 0 in

@@ -33,7 +33,7 @@ val check_bounds :
 val check_level_share :
   emit:(Diagnostic.t -> unit) ->
   ?app:int ->
-  ref_procs:int ->
+  budget:int ->
   beta:float ->
   dag:Mcs_dag.Dag.t ->
   is_virtual:(int -> bool) ->
@@ -41,4 +41,6 @@ val check_level_share :
   unit
 (** ALLOC002 (SCRAP-MAX only — the caller gates on the procedure): per
     precedence level, Σ over real tasks of the allocation must not
-    exceed [max(level population, max 1 ⌊β·ref_procs⌋)]. *)
+    exceed [max(level population, budget)]. [budget] must be computed
+    with {!Mcs_sched.Allocation.budget_of} so the checker and the
+    allocator agree on the epsilon-guarded ⌊β·procs⌋ floor. *)

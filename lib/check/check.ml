@@ -53,8 +53,9 @@ let analyze ?strategy ?(procedure = Allocation.Scrap_max) ?betas ?allocations
           match betas with
           | Some betas when procedure = Allocation.Scrap_max ->
             Alloc_check.check_level_share ~emit ~app:i
-              ~ref_procs:ref_cluster.Reference_cluster.procs ~beta:betas.(i)
-              ~dag:ptg.Ptg.dag ~is_virtual:(Ptg.is_virtual ptg) alloc
+              ~budget:(Allocation.budget_of ref_cluster ~beta:betas.(i))
+              ~beta:betas.(i) ~dag:ptg.Ptg.dag
+              ~is_virtual:(Ptg.is_virtual ptg) alloc
           | _ -> ())
         allocations)
     schedules;

@@ -105,8 +105,8 @@ let analyze platform snap =
         ~is_virtual:(Ptg.is_virtual a.ptg) a.alloc;
       if snap.procedure = Allocation.Scrap_max then
         Alloc_check.check_level_share ~emit ~app:a.index
-          ~ref_procs:ref_cluster.Reference_cluster.procs ~beta:a.beta
-          ~dag:a.ptg.Ptg.dag
+          ~budget:(Allocation.budget_of ref_cluster ~beta:a.beta)
+          ~beta:a.beta ~dag:a.ptg.Ptg.dag
           ~is_virtual:(Ptg.is_virtual a.ptg) a.alloc)
     snap.apps;
   (match snap.strategy with

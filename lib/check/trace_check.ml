@@ -2,6 +2,7 @@ module Trace = Mcs_sched.Trace
 module P = Mcs_platform.Platform
 module Redistribution = Mcs_taskmodel.Redistribution
 module Reference_cluster = Mcs_sched.Reference_cluster
+module Allocation = Mcs_sched.Allocation
 open Mcs_util.Floatx
 
 (* A trace identifies applications by their exported id, not by list
@@ -193,7 +194,7 @@ let check_app ~emit ?platform ?ref_cluster (a : Trace.app) =
       (match (a.Trace.beta, dag) with
       | Some beta, Some dag ->
         Alloc_check.check_level_share ~emit ~app
-          ~ref_procs:rc.Reference_cluster.procs ~beta ~dag ~is_virtual alloc
+          ~budget:(Allocation.budget_of rc ~beta) ~beta ~dag ~is_virtual alloc
       | _ -> ());
       (* MAP006 for non-pinned rows. *)
       let pinned_nodes =

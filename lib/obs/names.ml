@@ -26,6 +26,9 @@ let counters =
     ("mapper.packing_attempts", "shrunk-allocation candidates evaluated");
     ("mapper.packing_wins", "packing candidates that beat the full allocation");
     ("mapper.ready_peak", "high-water mark of the ready-task queue");
+    ( "mapper.avail_reorders",
+      "processor entries repositioned in the availability index" );
+    ("mapper.backfill_slots", "reservation holes found by Timeline.find_slot");
     ("online.events", "non-stale events handled by the online engine");
     ("online.reschedules", "rescheduling generations across engine runs");
     ("online.remapped", "placements recomputed by online reschedules");

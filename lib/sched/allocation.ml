@@ -34,10 +34,15 @@ let level_population ptg =
   done;
   pop
 
+(* The epsilon guards against [beta *. procs] landing one ulp below an
+   integer (e.g. 0.57 × 100 = 56.999999999999993), which would silently
+   drop a whole processor from the level budget. *)
 let budget_of ref_cluster ~beta =
   max 1
     (int_of_float
-       (Float.floor (beta *. float_of_int ref_cluster.Reference_cluster.procs)))
+       (Float.floor
+          ((beta *. float_of_int ref_cluster.Reference_cluster.procs)
+          +. Mcs_util.Floatx.eps)))
 
 let respects_level_constraint ref_cluster ~beta ptg procs =
   let budget = budget_of ref_cluster ~beta in

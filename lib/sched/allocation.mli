@@ -41,6 +41,13 @@ val allocate :
     one real cluster.
     @raise Invalid_argument unless [0 < beta <= 1]. *)
 
+val budget_of : Reference_cluster.t -> beta:float -> int
+(** [max 1 ⌊β·procs⌋] — the per-level reference-processor budget of
+    SCRAP-MAX (Eq. 2). The floor is epsilon-guarded so a product landing
+    one ulp below an integer (0.57 × 100 = 56.999999999999993) does not
+    silently drop a processor. Every consumer of the level budget (the
+    allocator and the invariant checker) must use this one definition. *)
+
 val level_usage : Mcs_ptg.Ptg.t -> int array -> int array
 (** Total reference processors allocated per precedence level (virtual
     nodes excluded) — used to audit constraint satisfaction. *)

@@ -4,12 +4,15 @@ module P = Mcs_platform.Platform
 module Task = Mcs_taskmodel.Task
 module Redistribution = Mcs_taskmodel.Redistribution
 module Floatx = Mcs_util.Floatx
+module Avail_index = Mcs_util.Avail_index
 module Obs = Mcs_obs.Obs
 
 let c_tasks_mapped = Obs.counter "mapper.tasks_mapped"
 let c_packing_attempts = Obs.counter "mapper.packing_attempts"
 let c_packing_wins = Obs.counter "mapper.packing_wins"
 let c_ready_peak = Obs.counter "mapper.ready_peak"
+let c_avail_reorders = Obs.counter "mapper.avail_reorders"
+let c_backfill_slots = Obs.counter "mapper.backfill_slots"
 
 type ordering = Ready_tasks | Global_fcfs | Global_backfill
 
@@ -98,9 +101,19 @@ let bottom_levels ref_cluster ptg alloc =
 (* Map one task and return its placement. [floor] bounds the start of
    real tasks (submission time, plus the FCFS no-backfilling bound in
    Global_fcfs mode); [virtual_floor] bounds virtual entry/exit nodes
-   (submission time only — the queue does not apply to them). *)
-let place_task platform ref_cluster proc_avail state v ~packing ~floor
-    ~virtual_floor =
+   (submission time only — the queue does not apply to them).
+
+   [avail_idx] keeps each cluster's processors permanently sorted by
+   (availability, id) — the order the former implementation re-derived
+   with a per-task Array.sort — and [proc_avail] is the availability
+   array shared with it. Everything that does not depend on the
+   candidate width p' (per-predecessor route bandwidths, the aggregate
+   NIC sums, sorted predecessor processor sets) is computed once per
+   task or once per task×cluster and reused across all packing
+   candidates; the resulting placements are bit-identical to the
+   original search. *)
+let place_task platform ref_cluster avail_idx proc_avail state v ~packing
+    ~floor ~virtual_floor =
   let ptg = state.ptg in
   let dag = ptg.Ptg.dag in
   let preds =
@@ -125,6 +138,28 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
   end
   else begin
     let task = ptg.Ptg.tasks.(v) in
+    let np = Array.length preds in
+    let nic = P.nic_bandwidth platform in
+    let latency = P.latency platform in
+    (* Cluster-independent predecessor data. *)
+    let p_finish = Array.map (fun (pu, _) -> pu.Schedule.finish) preds in
+    let p_bytes = Array.map (fun (_, bytes) -> bytes) preds in
+    let p_cluster = Array.map (fun (pu, _) -> pu.Schedule.cluster) preds in
+    let p_src =
+      Array.map
+        (fun (pu, _) -> max 1 (Array.length pu.Schedule.procs))
+        preds
+    in
+    let p_sorted =
+      Array.map
+        (fun (pu, _) ->
+          let s = Array.copy pu.Schedule.procs in
+          Array.sort compare s;
+          s)
+        preds
+    in
+    (* Per-cluster scratch, overwritten for each k. *)
+    let p_route = Array.make (max 1 np) 0. in
     let best = ref None in
     for k = 0 to P.cluster_count platform - 1 do
       let c = P.cluster platform k in
@@ -132,61 +167,54 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
         Reference_cluster.translate ref_cluster platform ~cluster:k
           state.alloc.(v)
       in
-      (* Processors of cluster k ordered by availability. *)
-      let base = P.first_proc platform k in
-      let order = Array.init c.P.procs (fun i -> base + i) in
-      Array.sort
-        (fun p q ->
-          let cmpa = Float.compare proc_avail.(p) proc_avail.(q) in
-          if cmpa <> 0 then cmpa else compare p q)
-        order;
+      (* Processors of cluster k ordered by (availability, id) — a
+         read-only view maintained incrementally across commits. *)
+      let order = Avail_index.sorted avail_idx k in
+      (* Hoisted per-cluster predecessor sums: route bandwidths and the
+         aggregate-NIC totals of the no-exemption case do not depend on
+         the candidate width. *)
+      let agg_total = ref 0. and agg_last = ref 0. and agg_senders = ref 0 in
+      for i = 0 to np - 1 do
+        p_route.(i) <-
+          Redistribution.route_bandwidth platform
+            ~src_cluster:p_cluster.(i) ~dst_cluster:k;
+        if p_bytes.(i) > 0. then begin
+          agg_total := !agg_total +. p_bytes.(i);
+          agg_last := Float.max !agg_last p_finish.(i);
+          incr agg_senders
+        end
+      done;
+      let agg_total = !agg_total
+      and agg_last = !agg_last
+      and agg_senders = !agg_senders in
+      (* Redistribution cost of predecessor [i] towards p' processors of
+         cluster k: latency + bytes over the NIC/route-limited rate. *)
+      let cost i p' =
+        if p_bytes.(i) <= 0. then 0.
+        else
+          let rate =
+            Float.min
+              (float_of_int (min p_src.(i) p') *. nic)
+              p_route.(i)
+          in
+          latency +. (p_bytes.(i) /. rate)
+      in
       let candidate_for p' =
-        (* Redistribution cost per predecessor towards p' processors of
-           cluster k (the stream count depends on both allocations). *)
-        let cost_of (pu, bytes) =
-          Redistribution.transfer_time platform
-            ~src_cluster:pu.Schedule.cluster ~dst_cluster:k
-            ~src_procs:(max 1 (Array.length pu.Schedule.procs))
-            ~dst_procs:p' ~bytes
-        in
         (* All incoming transfers funnel through the p' destination
            NICs; when several predecessors send data, their aggregate
-           bounds the data-ready time too. [exempt] optionally marks one
-           predecessor as in-place (no transfer). *)
-        let aggregate_bound ?exempt () =
-          let total = ref 0. and last_finish = ref 0. and senders = ref 0 in
-          Array.iter
-            (fun (pu, bytes) ->
-              let in_place =
-                match exempt with
-                | Some procs ->
-                  pu.Schedule.cluster = k
-                  && Redistribution.same_procs pu.Schedule.procs procs
-                | None -> false
-              in
-              if bytes > 0. && not in_place then begin
-                total := !total +. bytes;
-                last_finish := Float.max !last_finish pu.Schedule.finish;
-                incr senders
-              end)
-            preds;
-          if !senders <= 1 then 0.
-          else begin
-            let dst_rate =
-              float_of_int p' *. P.nic_bandwidth platform
-            in
-            !last_finish +. P.latency platform +. (!total /. dst_rate)
-          end
+           bounds the data-ready time too. *)
+        let aggregate0 =
+          if agg_senders <= 1 then 0.
+          else agg_last +. latency +. (agg_total /. (float_of_int p' *. nic))
         in
         (* Earliest possible start with p' processors, pessimistically
            assuming every incoming transfer is paid. *)
         let data_ready0 =
-          Float.max
-            (aggregate_bound ())
-            (Array.fold_left
-               (fun acc (pu, bytes) ->
-                 Float.max acc (pu.Schedule.finish +. cost_of (pu, bytes)))
-               0. preds)
+          let acc = ref 0. in
+          for i = 0 to np - 1 do
+            acc := Float.max !acc (p_finish.(i) +. cost i p')
+          done;
+          Float.max aggregate0 !acc
         in
         let start0 =
           Float.max floor
@@ -195,37 +223,70 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
         (* Best fit: among the processors available by start0, take the
            latest-available ones, leaving the most idle processors free
            for tasks that are ready now (this is what lets a small PTG
-           slip in beside a large one, Figure 1). *)
-        let fits_until = ref p' in
-        while
-          !fits_until < Array.length order
-          && proc_avail.(order.(!fits_until)) <= start0 +. Floatx.eps
-        do
-          incr fits_until
-        done;
-        let procs = Array.sub order (!fits_until - p') p' in
+           slip in beside a large one, Figure 1). [order] is sorted by
+           availability, so the boundary is a binary search. *)
+        let fits_until =
+          let bound = start0 +. Floatx.eps in
+          let lo = ref p' and hi = ref (Array.length order) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if proc_avail.(order.(mid)) <= bound then lo := mid + 1
+            else hi := mid
+          done;
+          !lo
+        in
+        let procs = Array.sub order (fits_until - p') p' in
         (* The in-place rule may cancel transfers from predecessors that
-           ran on exactly the chosen processors. *)
+           ran on exactly the chosen processors; when no predecessor ran
+           on this cluster with this width, nothing can be cancelled and
+           the pessimistic bound is already exact. *)
+        let may_cancel = ref false in
+        for i = 0 to np - 1 do
+          if
+            p_bytes.(i) > 0. && p_cluster.(i) = k
+            && Array.length p_sorted.(i) = p'
+          then may_cancel := true
+        done;
         let data_ready =
-          Float.max
-            (aggregate_bound ~exempt:procs ())
-            (Array.fold_left
-               (fun acc (pu, bytes) ->
-                 let cost =
-                   if
-                     bytes > 0. && pu.Schedule.cluster = k
-                     && Redistribution.same_procs pu.Schedule.procs procs
-                   then 0.
-                   else cost_of (pu, bytes)
-                 in
-                 Float.max acc (pu.Schedule.finish +. cost))
-               0. preds)
+          if not !may_cancel then data_ready0
+          else begin
+            let chosen =
+              let s = Array.copy procs in
+              Array.sort compare s;
+              s
+            in
+            let in_place i =
+              p_cluster.(i) = k
+              && Array.length p_sorted.(i) = p'
+              && p_sorted.(i) = chosen
+            in
+            let total = ref 0. and last = ref 0. and senders = ref 0 in
+            for i = 0 to np - 1 do
+              if p_bytes.(i) > 0. && not (in_place i) then begin
+                total := !total +. p_bytes.(i);
+                last := Float.max !last p_finish.(i);
+                incr senders
+              end
+            done;
+            let aggregate =
+              if !senders <= 1 then 0.
+              else
+                !last +. latency
+                +. (!total /. (float_of_int p' *. nic))
+            in
+            let acc = ref 0. in
+            for i = 0 to np - 1 do
+              let ci =
+                if p_bytes.(i) > 0. && in_place i then 0. else cost i p'
+              in
+              acc := Float.max !acc (p_finish.(i) +. ci)
+            done;
+            Float.max aggregate !acc
+          end
         in
-        let avail =
-          Array.fold_left
-            (fun acc p -> Float.max acc proc_avail.(p))
-            0. procs
-        in
+        (* [procs] is an availability-sorted window, so its availability
+           maximum is its last element's. *)
+        let avail = Float.max 0. proc_avail.(order.(fits_until - 1)) in
         let start = Float.max floor (Float.max data_ready avail) in
         let finish =
           start +. Task.time task ~gflops:c.P.gflops ~procs:p'
@@ -234,11 +295,11 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
       in
       let full = candidate_for needed in
       best := better_candidate !best (Some full);
-      if packing && needed > 1 then begin
+      if packing && needed > 1 then
         (* The allocation may shrink only if the task then starts
            strictly earlier and finishes no later than with its original
            allocation (Section 5). *)
-        Obs.enter "mapper.packing";
+        Obs.with_span "mapper.packing" @@ fun () ->
         for p' = needed - 1 downto 1 do
           Obs.incr c_packing_attempts;
           let cand = candidate_for p' in
@@ -249,14 +310,13 @@ let place_task platform ref_cluster proc_avail state v ~packing ~floor
             Obs.incr c_packing_wins;
             best := better_candidate !best (Some cand)
           end
-        done;
-        Obs.leave ()
-      end
+        done
     done;
     match !best with
     | None -> assert false (* there is at least one cluster *)
     | Some c ->
-      Array.iter (fun p -> proc_avail.(p) <- c.finish) c.procs;
+      Avail_index.update avail_idx c.procs c.finish;
+      Obs.incr ~by:(Array.length c.procs) c_avail_reorders;
       {
         Schedule.node = v;
         cluster = c.cluster;
@@ -341,6 +401,7 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
       with
       | None -> ()
       | Some (start, procs) ->
+        Obs.incr c_backfill_slots;
         let cand =
           { procs; cluster = k; start; finish = start +. exec }
         in
@@ -432,6 +493,15 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
         a;
       Array.copy a
   in
+  let avail_idx =
+    let groups =
+      Array.init (P.cluster_count platform) (fun k ->
+          let c = P.cluster platform k in
+          let base = P.first_proc platform k in
+          Array.init c.P.procs (fun i -> base + i))
+    in
+    Avail_index.create ~avail:proc_avail ~groups
+  in
   let timeline =
     lazy
       (let t = Mcs_util.Timeline.create ~procs:(P.total_procs platform) in
@@ -445,9 +515,12 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
        t)
   in
   let floor = ref 0. in
+  (* [with_span] (not bare enter/leave) so that a raising placement —
+     e.g. an ill-formed allocation surfacing as Invalid_argument — still
+     closes the span and leaves the profile stack balanced. *)
   let commit i v =
+    Obs.with_span "mapper.place" @@ fun () ->
     let state = states.(i) in
-    Obs.enter "mapper.place";
     let pl =
       match options.ordering with
       | Global_backfill ->
@@ -459,7 +532,7 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
           | Global_fcfs -> !floor
           | Ready_tasks | Global_backfill -> 0.
         in
-        place_task platform ref_cluster proc_avail state v
+        place_task platform ref_cluster avail_idx proc_avail state v
           ~packing:options.packing
           ~floor:(Float.max release.(i) fcfs_floor)
           ~virtual_floor:release.(i)
@@ -473,7 +546,6 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
       if not (Ptg.is_virtual state.ptg v) then
         floor := Float.max !floor pl.Schedule.start
     | Ready_tasks | Global_backfill -> ());
-    Obs.leave ();
     pl
   in
   (match options.ordering with

@@ -1,0 +1,110 @@
+type t = {
+  avail : float array;          (* shared with the caller *)
+  group_of : int array;         (* id -> group, -1 when unindexed *)
+  views : int array array;      (* per group, sorted by (avail, id) *)
+  mark : bool array;            (* scratch: membership of the update set *)
+  buf : int array;              (* scratch: one group's survivors *)
+}
+
+let key_le avail a b =
+  let c = Float.compare avail.(a) avail.(b) in
+  if c <> 0 then c < 0 else a <= b
+
+let create ~avail ~groups =
+  let n = Array.length avail in
+  let group_of = Array.make n (-1) in
+  Array.iteri
+    (fun g ids ->
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            invalid_arg "Avail_index.create: id out of range";
+          if group_of.(id) >= 0 then
+            invalid_arg "Avail_index.create: id in two groups";
+          group_of.(id) <- g)
+        ids)
+    groups;
+  let views =
+    Array.map
+      (fun ids ->
+        let v = Array.copy ids in
+        Array.sort
+          (fun p q ->
+            let c = Float.compare avail.(p) avail.(q) in
+            if c <> 0 then c else compare p q)
+          v;
+        v)
+      groups
+  in
+  let max_len =
+    Array.fold_left (fun acc ids -> max acc (Array.length ids)) 0 groups
+  in
+  {
+    avail;
+    group_of;
+    views;
+    mark = Array.make n false;
+    buf = Array.make (max 1 max_len) 0;
+  }
+
+let group_count t = Array.length t.views
+
+let sorted t g = t.views.(g)
+
+let avail t id = t.avail.(id)
+
+(* Repair one group's view after the marked ids [members] (sorted by id,
+   all sharing the just-written availability) changed key: compact the
+   survivors, then merge the two sorted runs back in place. *)
+let repair t g members =
+  let view = t.views.(g) in
+  let n = Array.length view in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let id = view.(i) in
+    if not t.mark.(id) then begin
+      t.buf.(!kept) <- id;
+      incr kept
+    end
+  done;
+  let kept = !kept in
+  let i = ref 0 and j = ref 0 in
+  let m = Array.length members in
+  for w = 0 to n - 1 do
+    if !i < kept && (!j >= m || key_le t.avail t.buf.(!i) members.(!j))
+    then begin
+      view.(w) <- t.buf.(!i);
+      incr i
+    end
+    else begin
+      view.(w) <- members.(!j);
+      incr j
+    end
+  done
+
+let update t ids v =
+  if Array.length ids > 0 then begin
+    let ids = Array.copy ids in
+    Array.sort compare ids;
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= Array.length t.group_of || t.group_of.(id) < 0
+        then invalid_arg "Avail_index.update: id not indexed";
+        t.avail.(id) <- v;
+        t.mark.(id) <- true)
+      ids;
+    (* One repair per distinct group; ids are sorted, so each group's
+       members form a subsequence already ordered by id. *)
+    let n = Array.length ids in
+    let i = ref 0 in
+    while !i < n do
+      let g = t.group_of.(ids.(!i)) in
+      let j = ref !i in
+      while !j < n && t.group_of.(ids.(!j)) = g do
+        incr j
+      done;
+      repair t g (Array.sub ids !i (!j - !i));
+      i := !j
+    done;
+    Array.iter (fun id -> t.mark.(id) <- false) ids
+  end

@@ -1,0 +1,39 @@
+(** Incremental per-group availability index.
+
+    The list mapper ranks the processors of each cluster by availability
+    time for every task it places. Re-sorting a cluster's processor
+    array per task costs O(P log P) per task×cluster; this index keeps,
+    for each group (cluster), a permanently sorted view keyed by
+    [(avail, id)] and repairs it in O(P + m) when a commit moves [m]
+    processors — the only thing a commit can do.
+
+    The index shares the caller's availability array: {!update} writes
+    both the array and the sorted views, so reads through the original
+    array stay coherent. *)
+
+type t
+
+val create : avail:float array -> groups:int array array -> t
+(** [create ~avail ~groups] builds an index over the ids appearing in
+    [groups], keyed by [(avail.(id), id)]. Groups must be disjoint and
+    every id must be a valid index into [avail]; the [avail] array is
+    shared, not copied.
+    @raise Invalid_argument if an id is out of range or appears in two
+    groups. *)
+
+val group_count : t -> int
+
+val sorted : t -> int -> int array
+(** [sorted t g] is group [g]'s ids in increasing [(avail, id)] order.
+    The returned array is the index's internal state: treat it as
+    read-only, and as invalidated by the next {!update}. *)
+
+val avail : t -> int -> float
+(** Current availability of one id. *)
+
+val update : t -> int array -> float -> unit
+(** [update t ids v] sets the availability of every id in [ids] to [v]
+    and repairs the sorted views. Ids may span several groups; each
+    affected group is repaired with a single merge pass. Safe to call
+    with an empty array (no-op).
+    @raise Invalid_argument on an id outside every group. *)

@@ -46,6 +46,15 @@ let push t x =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+(* Slots in [size, cap) may still reference elements that left the heap:
+   [grow] seeds them with whatever was being pushed, and [pop] parks a
+   then-live element there. Dropping the trailing region once occupancy
+   falls below a quarter keeps those strays from pinning popped values. *)
+let shrink t =
+  if t.size = 0 then t.data <- [||]
+  else if 4 * t.size <= Array.length t.data then
+    t.data <- Array.sub t.data 0 t.size
+
 let pop t =
   if t.size = 0 then None
   else begin
@@ -53,8 +62,12 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* Overwrite the vacated slot with a still-live element so the
+         array does not keep the popped value reachable forever. *)
+      t.data.(t.size) <- t.data.(0);
       sift_down t 0
     end;
+    shrink t;
     Some top
   end
 
@@ -64,7 +77,10 @@ let pop_exn t =
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
-let clear t = t.size <- 0
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
 
 let to_list t =
   let rec loop i acc =

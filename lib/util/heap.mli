@@ -19,7 +19,9 @@ val push : 'a t -> 'a -> unit
 (** Insert an element; O(log n). *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the minimum element, or [None] when empty. *)
+(** Remove and return the minimum element, or [None] when empty. The
+    heap drops its own reference to the element, so a popped value is
+    collectable as soon as the caller is done with it. *)
 
 val pop_exn : 'a t -> 'a
 (** Like {!pop}. @raise Invalid_argument when the heap is empty. *)
@@ -28,7 +30,7 @@ val peek : 'a t -> 'a option
 (** Return the minimum element without removing it. *)
 
 val clear : 'a t -> unit
-(** Remove every element. *)
+(** Remove every element and release the backing store. *)
 
 val to_list : 'a t -> 'a list
 (** All elements in unspecified order (heap is unchanged). *)

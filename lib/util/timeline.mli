@@ -7,7 +7,13 @@
     already reserved on each. {!find_slot} returns the earliest time at
     or after a release time at which a given number of processors are
     simultaneously free for a given duration, together with a best-fit
-    choice of processors. Reservations never move once placed. *)
+    choice of processors. Reservations never move once placed.
+
+    Each processor's reservations are stored as parallel sorted arrays
+    of starts and finishes, so point queries ({!is_free}, the best-fit
+    key) are O(log r) binary searches in the number of reservations [r]
+    on that processor, and {!reserve} is a binary search plus an array
+    shift. *)
 
 type t
 
@@ -29,11 +35,12 @@ val is_free : t -> proc:int -> start:float -> finish:float -> bool
 val free_at : t -> proc:int -> at:float -> duration:float -> bool
 (** [is_free] convenience on [at, at + duration). *)
 
-val next_candidates : t -> after:float -> float list
+val next_candidates : ?procs_subset:int array -> t -> after:float -> float list
 (** The release points of the availability profile at or after [after]:
-    [after] itself plus every reservation end beyond it, sorted and
-    deduplicated. The earliest feasible start of any new reservation is
-    one of these. *)
+    [after] itself plus every reservation end beyond it (on the
+    processors of [procs_subset] when given, all of them otherwise),
+    sorted and deduplicated. The earliest feasible start of any new
+    reservation on those processors is one of these. *)
 
 val find_slot :
   ?procs_subset:int array -> t -> count:int -> duration:float ->

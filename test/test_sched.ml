@@ -4,6 +4,7 @@ module Task = Mcs_taskmodel.Task
 module Ptg = Mcs_ptg.Ptg
 module Builder = Mcs_ptg.Builder
 module Prng = Mcs_prng.Prng
+module Obs = Mcs_obs.Obs
 open Mcs_sched
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -411,6 +412,105 @@ let test_mapper_packing_shrinks_delayed_task () =
   Alcotest.(check bool) "no packing: delayed" true
     ((seq_pl without_packing).Schedule.start > 0.)
 
+let test_mapper_packing_wins_observed () =
+  (* Same fixture as above, instrumented: the successful shrink must be
+     visible in the observability counters, and a packed placement only
+     ever trades processors for a strictly earlier start that finishes
+     no later. *)
+  let platform = toy_platform ~procs:4 () in
+  let r = Reference_cluster.of_platform platform in
+  let blocker = chain ~id:0 ~alpha:0.30 [ 30. ] in
+  let seq = chain ~id:1 ~alpha:1. [ 5. ] in
+  let apps =
+    [
+      (blocker, Array.make (Ptg.node_count blocker) 3);
+      (seq, Array.make (Ptg.node_count seq) 2);
+    ]
+  in
+  let without_packing =
+    List_mapper.run
+      ~options:{ List_mapper.default_options with packing = false }
+      platform r apps
+  in
+  Obs.enable ();
+  let with_packing =
+    Fun.protect
+      ~finally:(fun () -> Obs.disable ())
+      (fun () -> List_mapper.run platform r apps)
+  in
+  let wins = Obs.value (Obs.counter "mapper.packing_wins") in
+  Alcotest.(check bool) "packing win counted" true (wins > 0);
+  Alcotest.(check bool) "attempts cover wins" true
+    (Obs.value (Obs.counter "mapper.packing_attempts") >= wins);
+  let packed = Schedule.placement (List.nth with_packing 1) 0 in
+  let unpacked = Schedule.placement (List.nth without_packing 1) 0 in
+  Alcotest.(check bool) "shrunk below the translated allocation" true
+    (Array.length packed.Schedule.procs
+    < Reference_cluster.translate r platform ~cluster:0 2);
+  Alcotest.(check bool) "starts strictly earlier" true
+    (packed.Schedule.start < unpacked.Schedule.start);
+  Alcotest.(check bool) "finishes no later" true
+    (packed.Schedule.finish <= unpacked.Schedule.finish +. 1e-9)
+
+let test_mapper_backfill_best_fit_ties () =
+  (* Four single-task applications on a 4-processor cluster. Placement
+     order follows bottom-level priority (longest first), so each
+     find_slot call faces a tie among equally-recently-released
+     processors and must resolve it towards the lowest ids. *)
+  let platform = toy_platform ~procs:4 () in
+  let r = Reference_cluster.of_platform platform in
+  let apps =
+    List.mapi
+      (fun i d -> (chain ~id:i ~alpha:1. [ d ], [| 2 |]))
+      [ 6.; 4.; 3.; 1. ]
+  in
+  Obs.enable ();
+  let schedules =
+    Fun.protect
+      ~finally:(fun () -> Obs.disable ())
+      (fun () ->
+        List_mapper.run
+          ~options:{ List_mapper.ordering = Global_backfill; packing = false }
+          platform r apps)
+  in
+  Alcotest.(check bool) "slots found via the timeline" true
+    (Obs.value (Obs.counter "mapper.backfill_slots") > 0);
+  let pl i = Schedule.placement (List.nth schedules i) 0 in
+  (* All four processors are idle at 0: ids break the tie. *)
+  check_float "6s task at 0" 0. (pl 0).Schedule.start;
+  Alcotest.(check (array int)) "6s task on lowest ids" [| 0; 1 |]
+    (pl 0).Schedule.procs;
+  check_float "4s task at 0" 0. (pl 1).Schedule.start;
+  Alcotest.(check (array int)) "4s task on remaining procs" [| 2; 3 |]
+    (pl 1).Schedule.procs;
+  (* Best fit prefers the latest-released pair 2,3 over waiting for
+     0,1 (busy until 6). *)
+  check_float "3s task when 2,3 free" 4. (pl 2).Schedule.start;
+  Alcotest.(check (array int)) "3s task reuses 2,3" [| 2; 3 |]
+    (pl 2).Schedule.procs;
+  (* At 6 procs 0,1 are free while 2,3 run until 7: released-latest
+     wins again, the id tie inside the pair is by lowest id. *)
+  check_float "1s task when 0,1 free" 6. (pl 3).Schedule.start;
+  Alcotest.(check (array int)) "1s task on 0,1" [| 0; 1 |]
+    (pl 3).Schedule.procs
+
+let test_budget_of_regression () =
+  (* β = 1 grants the whole reference cluster, β = 1/|A| an even split,
+     and products landing one ulp under an integer (0.57 · 100 =
+     56.999999999999993) must not lose a processor to truncation. *)
+  let hundred = Reference_cluster.make ~speed:1. ~procs:100 in
+  Alcotest.(check int) "beta=1" 100 (Allocation.budget_of hundred ~beta:1.);
+  Alcotest.(check int) "beta=0.57 keeps processor 57" 57
+    (Allocation.budget_of hundred ~beta:0.57);
+  Alcotest.(check int) "beta=0.29" 29
+    (Allocation.budget_of hundred ~beta:0.29);
+  let seven = Reference_cluster.make ~speed:1. ~procs:7 in
+  Alcotest.(check int) "even split of 7" 1
+    (Allocation.budget_of seven ~beta:(1. /. 7.));
+  let g5k = Reference_cluster.make ~speed:1. ~procs:158 in
+  Alcotest.(check int) "1/6 of 158" 26
+    (Allocation.budget_of g5k ~beta:(1. /. 6.))
+
 let test_mapper_prefers_faster_cluster () =
   let platform = two_cluster_platform () in
   let r = Reference_cluster.of_platform platform in
@@ -620,6 +720,8 @@ let suite =
         Alcotest.test_case "beta validation" `Quick
           test_allocation_beta_validation;
         Alcotest.test_case "scrap vs scrap-max" `Quick test_scrap_vs_scrap_max;
+        Alcotest.test_case "budget_of regression" `Quick
+          test_budget_of_regression;
         QCheck_alcotest.to_alcotest qcheck_scrap_max_levels;
         QCheck_alcotest.to_alcotest qcheck_allocation_capped;
       ] );
@@ -653,6 +755,10 @@ let suite =
           test_mapper_backfill_small_ptg_not_postponed;
         Alcotest.test_case "packing shrinks delayed task" `Quick
           test_mapper_packing_shrinks_delayed_task;
+        Alcotest.test_case "packing wins observed" `Quick
+          test_mapper_packing_wins_observed;
+        Alcotest.test_case "backfill best-fit ties" `Quick
+          test_mapper_backfill_best_fit_ties;
         Alcotest.test_case "prefers faster cluster" `Quick
           test_mapper_prefers_faster_cluster;
         Alcotest.test_case "dependencies & comm" `Quick

@@ -85,6 +85,27 @@ let test_find_slot_best_fit () =
     Alcotest.(check (array int)) "later-released proc" [| 1 |] procs
   | None -> Alcotest.fail "no slot"
 
+let test_find_slot_best_fit_ties () =
+  (* Procs 1 and 3 share the latest previous-reservation end (3.), the
+     never-used procs 0 and 4 share the earliest (0.), and proc 2 sits
+     in between. Best fit prefers late-released procs, breaking the
+     ties by the lowest processor id. *)
+  let t = Timeline.create ~procs:5 in
+  Timeline.reserve t ~proc:1 ~start:0. ~finish:3.;
+  Timeline.reserve t ~proc:3 ~start:1. ~finish:3.;
+  Timeline.reserve t ~proc:2 ~start:0. ~finish:1.;
+  (match Timeline.find_slot t ~count:2 ~duration:2. ~after:5. with
+  | Some (start, procs) ->
+    check_float "at five" 5. start;
+    Alcotest.(check (array int)) "both late-released procs" [| 1; 3 |] procs
+  | None -> Alcotest.fail "no slot");
+  match Timeline.find_slot t ~count:4 ~duration:2. ~after:5. with
+  | Some (start, procs) ->
+    check_float "still at five" 5. start;
+    Alcotest.(check (array int)) "tie among idle procs broken by id"
+      [| 0; 1; 2; 3 |] procs
+  | None -> Alcotest.fail "no slot"
+
 let test_find_slot_subset_and_count () =
   let t = Timeline.create ~procs:4 in
   Alcotest.(check bool) "count too large" true
@@ -158,6 +179,8 @@ let suite =
         Alcotest.test_case "multi-processor slot" `Quick
           test_find_slot_multi_proc;
         Alcotest.test_case "best fit" `Quick test_find_slot_best_fit;
+        Alcotest.test_case "best-fit tie-breaking" `Quick
+          test_find_slot_best_fit_ties;
         Alcotest.test_case "subset & count" `Quick
           test_find_slot_subset_and_count;
         QCheck_alcotest.to_alcotest qcheck_find_slot_is_free_and_earliest;

@@ -76,6 +76,128 @@ let qcheck_heap_sorts =
       let drained = List.init (List.length l) (fun _ -> Heap.pop_exn h) in
       drained = List.sort compare l)
 
+(* Interleaved pushes and pops against a sorted-list model: every int
+   [x] is a push of [x] except multiples of 3, which are pops. *)
+let qcheck_heap_interleaved =
+  QCheck.Test.make ~name:"heap matches a sorted-list model under push/pop mix"
+    ~count:200
+    QCheck.(list int)
+    (fun ops ->
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun x ->
+          if x mod 3 = 0 then begin
+            let expected =
+              match !model with
+              | [] -> None
+              | m :: rest ->
+                model := rest;
+                Some m
+            in
+            if Heap.pop h <> expected then ok := false
+          end
+          else begin
+            Heap.push h x;
+            model := List.sort compare (x :: !model)
+          end)
+        ops;
+      !ok
+      && Heap.length h = List.length !model
+      && List.init (Heap.length h) (fun _ -> Heap.pop_exn h) = !model)
+
+let test_heap_pop_releases_elements () =
+  (* Regression for the pop space leak: the vacated slot used to keep
+     the last element reachable through [t.data] forever. Weak pointers
+     observe that popped (and dropped) elements become collectable. *)
+  let h = Heap.create ~cmp:(fun a b -> compare !a !b) in
+  let w = Weak.create 2 in
+  for i = 0 to 4 do
+    let r = ref i in
+    Heap.push h r;
+    if i < 2 then Weak.set w i (Some r)
+  done;
+  ignore (Heap.pop h);
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped elements are collectable" true
+    (Weak.get w 0 = None && Weak.get w 1 = None);
+  Alcotest.(check int) "remaining elements" 3 (Heap.length h);
+  Alcotest.(check (list int)) "order preserved" [ 2; 3; 4 ]
+    (List.init 3 (fun _ -> !(Heap.pop_exn h)))
+
+(* ---------- Availability index ---------- *)
+
+let test_avail_index_basic () =
+  let avail = [| 3.; 1.; 2.; 0.; 5.; 4. |] in
+  let groups = [| [| 0; 1; 2 |]; [| 3; 4; 5 |] |] in
+  let idx = Avail_index.create ~avail ~groups in
+  Alcotest.(check int) "groups" 2 (Avail_index.group_count idx);
+  Alcotest.(check (array int)) "group 0 sorted" [| 1; 2; 0 |]
+    (Avail_index.sorted idx 0);
+  Alcotest.(check (array int)) "group 1 sorted" [| 3; 5; 4 |]
+    (Avail_index.sorted idx 1);
+  Avail_index.update idx [| 1; 2 |] 7.;
+  Alcotest.(check (array int)) "after update, id breaks the tie"
+    [| 0; 1; 2 |]
+    (Avail_index.sorted idx 0);
+  check_float "shared array updated" 7. avail.(1);
+  check_float "avail accessor" 7. (Avail_index.avail idx 2);
+  (* Cross-group update in one call. *)
+  Avail_index.update idx [| 0; 4 |] 0.5;
+  Alcotest.(check (array int)) "group 0 repaired" [| 0; 1; 2 |]
+    (Avail_index.sorted idx 0);
+  Alcotest.(check (array int)) "group 1 repaired" [| 3; 4; 5 |]
+    (Avail_index.sorted idx 1)
+
+let test_avail_index_rejects_bad_ids () =
+  let raises f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "id out of range" true
+    (raises (fun () ->
+         ignore (Avail_index.create ~avail:[| 0. |] ~groups:[| [| 1 |] |])));
+  Alcotest.(check bool) "duplicate id" true
+    (raises (fun () ->
+         ignore
+           (Avail_index.create ~avail:[| 0.; 0. |]
+              ~groups:[| [| 0 |]; [| 0 |] |])));
+  let idx =
+    Avail_index.create ~avail:[| 0.; 0. |] ~groups:[| [| 0 |] |]
+  in
+  Alcotest.(check bool) "unindexed id" true
+    (raises (fun () -> Avail_index.update idx [| 1 |] 1.))
+
+let qcheck_avail_index_matches_resort =
+  QCheck.Test.make
+    ~name:"avail index view equals a full (avail, id) re-sort after updates"
+    ~count:150
+    QCheck.(list (pair (pair (int_range 0 19) (int_range 0 19))
+                    (float_range 0. 50.)))
+    (fun ops ->
+      let avail = Array.make 20 0. in
+      let groups = [| Array.init 10 Fun.id; Array.init 10 (fun i -> 10 + i) |] in
+      let idx = Avail_index.create ~avail ~groups in
+      let reference g =
+        let v = Array.copy groups.(g) in
+        Array.sort
+          (fun p q ->
+            let c = Float.compare avail.(p) avail.(q) in
+            if c <> 0 then c else compare p q)
+          v;
+        v
+      in
+      List.for_all
+        (fun ((a, b), v) ->
+          Avail_index.update idx (if a = b then [| a |] else [| a; b |]) v;
+          Avail_index.sorted idx 0 = reference 0
+          && Avail_index.sorted idx 1 = reference 1)
+        ops)
+
 let test_table_render () =
   let t = Table.create ~title:"T" ~header:[ "a"; "bb" ] in
   Table.add_row t [ "1"; "2" ];
@@ -118,7 +240,18 @@ let suite =
         Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
         Alcotest.test_case "custom comparison" `Quick test_heap_custom_cmp;
         Alcotest.test_case "to_list" `Quick test_heap_to_list;
+        Alcotest.test_case "pop releases elements" `Quick
+          test_heap_pop_releases_elements;
         QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
+      ] );
+    ( "util.avail_index",
+      [
+        Alcotest.test_case "sorted views & updates" `Quick
+          test_avail_index_basic;
+        Alcotest.test_case "input validation" `Quick
+          test_avail_index_rejects_bad_ids;
+        QCheck_alcotest.to_alcotest qcheck_avail_index_matches_resort;
       ] );
     ( "util.table",
       [
