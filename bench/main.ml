@@ -213,6 +213,20 @@ let emit_pipeline_baseline () =
   let apps = List.mapi (fun i p -> (p, 15. *. float_of_int i)) ptgs in
   let policy = Mcs_online.Policy.make Strategy.Equal_share in
   ignore (Mcs_online.Engine.run ~policy platform apps);
+  (* A short faulted run exercises the online.fault phase and the fault
+     counters (kills, retries, ledger releases) so the committed
+     baseline covers every registered name. *)
+  let faults =
+    Mcs_fault.Fault.generate ~seed platform
+      {
+        Mcs_fault.Fault.default with
+        Mcs_fault.Fault.mttf = 2000.;
+        mttr = 120.;
+        task_fail_p = 0.05;
+        horizon = 600.;
+      }
+  in
+  ignore (Mcs_online.Engine.run ~policy ~faults platform apps);
   Obs.disable ();
   let phases = phase_rows () in
   let counters =
@@ -418,6 +432,7 @@ let artefacts =
     ("x5", fun () -> Mcs_util.Table.print (E.Exp_arrivals.table ()));
     ("x6", fun () -> Mcs_util.Table.print (E.Exp_single_ptg.table ()));
     ("x7", fun () -> Mcs_util.Table.print (E.Exp_online.table ()));
+    ("x8", fun () -> Mcs_util.Table.print (E.Exp_faults.table ()));
     ("online", run_online);
     ("micro", run_micro);
   ]
@@ -437,6 +452,7 @@ let titles =
     ("x5", "X5 — extension: staggered submission times (future work, Section 8)");
     ("x6", "X6 — extension: single-PTG algorithm families (HEFT / M-HEFT / HCPA)");
     ("x7", "X7 — extension: online dynamic β vs offline approximation");
+    ("x8", "X8 — extension: fault injection across the eight β strategies");
     ("online", "Online engine — event throughput and rescheduling cost");
     ("micro", "Microbenchmarks");
   ]

@@ -10,6 +10,7 @@ module Workload = Mcs_experiments.Workload
 module Engine = Mcs_online.Engine
 module Policy = Mcs_online.Policy
 module Log = Mcs_online.Log
+module Fault = Mcs_fault.Fault
 
 let parse_strategy = function
   | "S" -> Ok Strategy.Selfish
@@ -37,7 +38,8 @@ let write_file path contents =
   Printf.eprintf "wrote %s\n" path
 
 let run site strategy family count seed mean_interarrival static csv json
-    gantt check profile profile_format =
+    gantt check faults mttf mttr task_fail_p granularity horizon max_retries
+    backoff shrink profile profile_format =
   Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
@@ -72,8 +74,39 @@ let run site strategy family count seed mean_interarrival static csv json
       end)
     ptgs;
   let apps = List.mapi (fun i ptg -> (ptg, release.(i))) ptgs in
+  let fault_scenario =
+    if not faults then None
+    else begin
+      let granularity =
+        match granularity with
+        | "proc" -> Fault.Proc
+        | "cluster" -> Fault.Cluster
+        | g ->
+          prerr_endline ("unknown fault granularity: " ^ g ^ " (proc|cluster)");
+          exit 2
+      in
+      let config =
+        { Fault.mttf; mttr; task_fail_p; granularity; horizon }
+      in
+      match Fault.generate ~seed platform config with
+      | s -> Some s
+      | exception Invalid_argument m ->
+        prerr_endline m;
+        exit 2
+    end
+  in
+  let fault_policy =
+    { Policy.max_retries; backoff_base = backoff; shrink_on_retry = shrink }
+  in
   let policy =
-    if static then Policy.static strategy else Policy.make strategy
+    match
+      if static then Policy.static ~faults:fault_policy strategy
+      else Policy.make ~faults:fault_policy strategy
+    with
+    | p -> p
+    | exception Invalid_argument m ->
+      prerr_endline m;
+      exit 2
   in
   let log e = print_endline (Log.to_json e) in
   (* With --check, every reschedule generation is audited by the
@@ -87,8 +120,9 @@ let run site strategy family count seed mean_interarrival static csv json
       !violations + List.length (Mcs_check.Diagnostic.errors diags)
   in
   let r =
-    Engine.run ~log ?check:(if check then Some checker else None) ~policy
-      platform apps
+    Engine.run ~log
+      ?check:(if check then Some checker else None)
+      ?faults:fault_scenario ~policy platform apps
   in
   if !violations > 0 then begin
     Printf.eprintf "invariant check: %d errors\n" !violations;
@@ -102,18 +136,31 @@ let run site strategy family count seed mean_interarrival static csv json
   let join fmt a =
     String.concat "," (Array.to_list (Array.map fmt a))
   in
+  (* The fault fields appear only under a non-empty fault process, so a
+     zero-rate faulted run stays byte-identical to an un-faulted one. *)
+  let fault_suffix =
+    match fault_scenario with
+    | Some s when not (Fault.is_empty s) ->
+      Printf.sprintf
+        ",\"outages\":%d,\"kills\":%d,\"task_failures\":%d,\
+         \"fault_events\":%d"
+        (List.length s.Fault.outages)
+        r.Engine.stats.Engine.kills r.Engine.stats.Engine.task_failures
+        r.Engine.stats.Engine.fault_events
+    | Some _ | None -> ""
+  in
   Printf.printf
     "{\"event\":\"summary\",\"strategy\":\"%s\",\"site\":\"%s\",\
      \"apps\":%d,\"releases\":[%s],\"betas\":[%s],\"responses\":[%s],\
      \"events_processed\":%d,\"events_pushed\":%d,\"reschedules\":%d,\
-     \"remapped_tasks\":%d}\n"
+     \"remapped_tasks\":%d%s}\n"
     (Strategy.name strategy) site count
     (join (Printf.sprintf "%.17g") release)
     (join (Printf.sprintf "%.17g") r.Engine.betas)
     (join (Printf.sprintf "%.17g") r.Engine.responses)
     r.Engine.stats.Engine.events_processed
     r.Engine.stats.Engine.events_pushed r.Engine.stats.Engine.reschedules
-    r.Engine.stats.Engine.remapped_tasks;
+    r.Engine.stats.Engine.remapped_tasks fault_suffix;
   if gantt then
     prerr_string (Schedule.gantt ~platform r.Engine.schedules);
   (match csv with
@@ -169,8 +216,60 @@ let check =
   Arg.(value & flag
        & info [ "check" ]
            ~doc:
-             "audit every reschedule with the invariant analyzer and exit \
+             "audit every reschedule with the invariant analyzer (plus the \
+              FAULT001-003 execution-log audit under --faults) and exit \
               non-zero on any violated rule")
+
+let faults =
+  Arg.(value & flag
+       & info [ "faults" ]
+           ~doc:
+             "inject a seeded fault process: processor outages drawn from \
+              --mttf/--mttr and transient task failures from --task-fail-p \
+              (the scenario reuses --seed)")
+
+let mttf =
+  Arg.(value & opt float Float.infinity
+       & info [ "mttf" ]
+           ~doc:
+             "mean time to failure per unit, seconds ('inf' disables \
+              outages)")
+
+let mttr =
+  Arg.(value & opt float 60.
+       & info [ "mttr" ] ~doc:"mean time to repair, seconds")
+
+let task_fail_p =
+  Arg.(value & opt float 0.
+       & info [ "task-fail-p" ]
+           ~doc:"per-attempt transient task failure probability in [0,1]")
+
+let granularity =
+  Arg.(value & opt string "proc"
+       & info [ "fault-granularity" ]
+           ~doc:"failure unit: proc (independent processors) or cluster")
+
+let horizon =
+  Arg.(value & opt float 3600.
+       & info [ "fault-horizon" ]
+           ~doc:"no outage begins after this time, seconds")
+
+let max_retries =
+  Arg.(value & opt int 3
+       & info [ "max-retries" ]
+           ~doc:
+             "transient failures tolerated per task before the next attempt \
+              is carried through")
+
+let backoff =
+  Arg.(value & opt float 5.
+       & info [ "backoff" ]
+           ~doc:"retry backoff base, seconds (retry k waits base*2^(k-1))")
+
+let shrink =
+  Arg.(value & flag
+       & info [ "shrink-on-retry" ]
+           ~doc:"halve a task's allocation per transient failure")
 
 let cmd =
   let doc =
@@ -180,7 +279,8 @@ let cmd =
     (Cmd.info "mcs_online" ~doc)
     Term.(
       const run $ site $ strategy $ family $ count $ seed $ mean_interarrival
-      $ static $ csv $ json $ gantt $ check $ Obs_cli.profile
-      $ Obs_cli.profile_format)
+      $ static $ csv $ json $ gantt $ check $ faults $ mttf $ mttr
+      $ task_fail_p $ granularity $ horizon $ max_retries $ backoff $ shrink
+      $ Obs_cli.profile $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

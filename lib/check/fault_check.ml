@@ -1,0 +1,183 @@
+module P = Mcs_platform.Platform
+module Ptg = Mcs_ptg.Ptg
+module Task = Mcs_taskmodel.Task
+module Timeline = Mcs_util.Timeline
+open Mcs_util.Floatx
+
+type outcome = Completed | Killed | Failed
+
+type execution = {
+  app : int;
+  node : int;
+  cluster : int;
+  procs : int array;
+  start : float;
+  finish : float;
+  outcome : outcome;
+}
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Killed -> "killed"
+  | Failed -> "failed"
+
+(* FAULT001 through the reservation machinery: down intervals become
+   reservations, an attempt is legal iff every one of its processors is
+   "free" (i.e. up) for its whole duration. A kill truncated exactly at
+   [down_at] touches the reservation without overlapping it, which
+   [Timeline.is_free]'s epsilon already treats as free. *)
+let check_down_overlap ~emit ~down platform execs =
+  let total = P.total_procs platform in
+  if Array.length down <> total then
+    invalid_arg "Fault_check.check: down length differs from platform";
+  let tl = Timeline.create ~procs:total in
+  Array.iteri
+    (fun p intervals ->
+      List.iter
+        (fun (d, u) -> Timeline.reserve tl ~proc:p ~start:d ~finish:u)
+        intervals)
+    down;
+  List.iter
+    (fun e ->
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= total then
+            emit
+              (Diagnostic.error ~app:e.app ~node:e.node
+                 Rule.Fault_down_overlap "processor %d out of range" p)
+          else if not (Timeline.is_free tl ~proc:p ~start:e.start ~finish:e.finish)
+          then
+            emit
+              (Diagnostic.error ~app:e.app ~node:e.node ~proc:p
+                 ~window:(e.start, e.finish) Rule.Fault_down_overlap
+                 "%s attempt runs on processor %d during one of its down \
+                  intervals"
+                 (outcome_name e.outcome) p))
+        e.procs)
+    execs
+
+(* Iterate applications × nodes (not the hash table) so diagnostics come
+   out in a deterministic order. *)
+let check_retry_bound ~emit ~max_retries ~ptgs per_task =
+  Array.iteri
+    (fun app ptg ->
+      for node = 0 to Mcs_dag.Dag.node_count ptg.Ptg.dag - 1 do
+        match Hashtbl.find_opt per_task (app, node) with
+        | None -> ()
+        | Some attempts ->
+          let failures =
+            List.length (List.filter (fun e -> e.outcome = Failed) attempts)
+          in
+          if failures > max_retries then
+            emit
+              (Diagnostic.error ~app ~node Rule.Fault_retry_bound
+                 "%d transient failures exceed the retry bound of %d" failures
+                 max_retries)
+      done)
+    ptgs
+
+let check_conservation ~emit platform ~ptgs per_task =
+  Array.iteri
+    (fun app ptg ->
+      let n = Mcs_dag.Dag.node_count ptg.Ptg.dag in
+      for node = 0 to n - 1 do
+        if not (Ptg.is_virtual ptg node) then begin
+          let attempts =
+            match Hashtbl.find_opt per_task (app, node) with
+            | Some l ->
+              List.sort
+                (fun a b ->
+                  let c = Float.compare a.start b.start in
+                  if c <> 0 then c else Float.compare a.finish b.finish)
+                l
+            | None -> []
+          in
+          let completed =
+            List.filter (fun e -> e.outcome = Completed) attempts
+          in
+          (match (completed, attempts) with
+          | [], _ ->
+            emit
+              (Diagnostic.error ~app ~node Rule.Fault_conservation
+                 "task never completed (%d attempt%s recorded)"
+                 (List.length attempts)
+                 (if List.length attempts = 1 then "" else "s"))
+          | [ c ], _ :: _ ->
+            let last = List.nth attempts (List.length attempts - 1) in
+            if last != c then
+              emit
+                (Diagnostic.error ~app ~node ~window:(c.start, c.finish)
+                   Rule.Fault_conservation
+                   "completion at %g..%g is not the chronologically last \
+                    attempt"
+                   c.start c.finish)
+          | _ :: _ :: _, _ ->
+            emit
+              (Diagnostic.error ~app ~node Rule.Fault_conservation
+                 "task completed %d times" (List.length completed))
+          | [ _ ], [] -> assert false);
+          List.iter
+            (fun e ->
+              if e.cluster < 0 || e.cluster >= P.cluster_count platform then
+                emit
+                  (Diagnostic.error ~app ~node Rule.Fault_conservation
+                     "cluster %d out of range" e.cluster)
+              else begin
+                let c = P.cluster platform e.cluster in
+                let full =
+                  Task.time ptg.Ptg.tasks.(node) ~gflops:c.P.gflops
+                    ~procs:(max 1 (Array.length e.procs))
+                in
+                let dur = e.finish -. e.start in
+                match e.outcome with
+                | Completed | Failed ->
+                  (* Tolerance matched to the simulator's fluid model:
+                     durations are exact up to float noise. *)
+                  if not (approx_eq ~tol:1e-6 dur full) then
+                    emit
+                      (Diagnostic.error ~app ~node ~window:(e.start, e.finish)
+                         Rule.Fault_conservation
+                         "%s attempt lasts %g, expected the full execution \
+                          time %g"
+                         (outcome_name e.outcome) dur full)
+                | Killed ->
+                  if dur >. full +. 1e-6 then
+                    emit
+                      (Diagnostic.error ~app ~node ~window:(e.start, e.finish)
+                         Rule.Fault_conservation
+                         "killed attempt lasts %g, longer than the full \
+                          execution time %g"
+                         dur full)
+              end)
+            attempts
+        end
+      done)
+    ptgs
+
+let check ~max_retries ~down platform ~ptgs execs =
+  if max_retries < 0 then
+    invalid_arg "Fault_check.check: negative max_retries";
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let napps = Array.length ptgs in
+  List.iter
+    (fun e ->
+      if e.app < 0 || e.app >= napps then
+        emit
+          (Diagnostic.error ~node:e.node Rule.Fault_conservation
+             "execution references unknown application %d" e.app))
+    execs;
+  let execs = List.filter (fun e -> e.app >= 0 && e.app < napps) execs in
+  let per_task = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let key = (e.app, e.node) in
+      let prev =
+        match Hashtbl.find_opt per_task key with Some l -> l | None -> []
+      in
+      Hashtbl.replace per_task key (e :: prev))
+    execs;
+  check_down_overlap ~emit ~down platform execs;
+  check_retry_bound ~emit ~max_retries ~ptgs per_task;
+  check_conservation ~emit platform ~ptgs per_task;
+  Diagnostic.sort (List.rev !diags)

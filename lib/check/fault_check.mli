@@ -1,0 +1,47 @@
+(** Fault-model invariants (FAULT001-003).
+
+    The online engine under fault injection keeps a chronological log of
+    {e execution attempts} — one record per time a task occupied
+    processors, whether the attempt completed, was killed by a processor
+    outage, or failed transiently at its end. This checker audits that
+    log against the outage process:
+
+    - {b FAULT001} ([Rule.Fault_down_overlap]): no attempt overlaps a
+      down interval of any processor it ran on. A kill truncated at the
+      failure instant {e touches} the interval, which is legal.
+    - {b FAULT002} ([Rule.Fault_retry_bound]): no task records more
+      transient failures than [max_retries].
+    - {b FAULT003} ([Rule.Fault_conservation]): work is conserved —
+      every real task of every application completes exactly once, as
+      its chronologically last attempt; completed and transiently-failed
+      attempts pay the task's full execution time on their cluster and
+      width; a killed attempt never exceeds it. *)
+
+type outcome =
+  | Completed  (** the attempt finished and its result was kept *)
+  | Killed  (** a processor outage truncated the attempt *)
+  | Failed  (** transient failure at the end: full duration, work lost *)
+
+type execution = {
+  app : int;  (** application submission index *)
+  node : int;  (** DAG node *)
+  cluster : int;
+  procs : int array;  (** global processor ids *)
+  start : float;
+  finish : float;
+  outcome : outcome;
+}
+
+val check :
+  max_retries:int ->
+  down:(float * float) list array ->
+  Mcs_platform.Platform.t ->
+  ptgs:Mcs_ptg.Ptg.t array ->
+  execution list ->
+  Diagnostic.t list
+(** Audit an execution log. [down.(p)] is processor [p]'s sorted,
+    disjoint down intervals ({!Mcs_fault.Fault.down_intervals} produces
+    exactly this shape, but the checker deliberately takes plain data
+    and does not depend on the generator); [ptgs] are the applications
+    in submission order. Returns diagnostics in deterministic order —
+    empty when the log is clean. *)

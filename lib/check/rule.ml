@@ -17,6 +17,9 @@ type t =
   | Online_pin_stability
   | Online_beta_active
   | Online_time_travel
+  | Fault_down_overlap
+  | Fault_retry_bound
+  | Fault_conservation
 
 let all =
   [
@@ -38,6 +41,9 @@ let all =
     Online_pin_stability;
     Online_beta_active;
     Online_time_travel;
+    Fault_down_overlap;
+    Fault_retry_bound;
+    Fault_conservation;
   ]
 
 let id = function
@@ -59,6 +65,9 @@ let id = function
   | Online_pin_stability -> "online-pin-stability"
   | Online_beta_active -> "online-beta-active"
   | Online_time_travel -> "online-time-travel"
+  | Fault_down_overlap -> "fault-down-overlap"
+  | Fault_retry_bound -> "fault-retry-bound"
+  | Fault_conservation -> "fault-conservation"
 
 let code = function
   | Dag_acyclic -> "DAG001"
@@ -79,6 +88,9 @@ let code = function
   | Online_pin_stability -> "ON001"
   | Online_beta_active -> "ON002"
   | Online_time_travel -> "ON003"
+  | Fault_down_overlap -> "FAULT001"
+  | Fault_retry_bound -> "FAULT002"
+  | Fault_conservation -> "FAULT003"
 
 let of_id s = List.find_opt (fun r -> id r = s) all
 
@@ -122,6 +134,16 @@ let describe = function
   | Online_time_travel ->
     "a reschedule maps no task before the current virtual time and never \
      touches a not-yet-arrived application"
+  | Fault_down_overlap ->
+    "no execution attempt overlaps a down interval of any of its \
+     processors (a kill truncates the attempt at the failure instant)"
+  | Fault_retry_bound ->
+    "no task suffers more transient failures than the retry policy allows"
+  | Fault_conservation ->
+    "work is conserved across re-executions: every real task completes \
+     exactly once, as its chronologically last attempt, every completed \
+     or transiently-failed attempt pays the full execution time, and a \
+     killed attempt never exceeds it"
 
 let paper_ref = function
   | Dag_acyclic -> "Section 2 (PTG model: application = DAG)"
@@ -143,3 +165,8 @@ let paper_ref = function
   | Online_beta_active ->
     "Section 8 (an online scheduler cannot know future submissions)"
   | Online_time_travel -> "Section 8 (reschedules act on the future only)"
+  | Fault_down_overlap ->
+    "extension: fault model (dead processors execute nothing)"
+  | Fault_retry_bound -> "extension: fault model (bounded retry policy)"
+  | Fault_conservation ->
+    "extension: fault model (lost work is re-executed, never dropped)"

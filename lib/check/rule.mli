@@ -30,6 +30,10 @@ type t =
   | Online_pin_stability  (** pinned placements never move *)
   | Online_beta_active    (** β computed over the active set only *)
   | Online_time_travel    (** reschedules never touch the past *)
+  (* Fault model *)
+  | Fault_down_overlap    (** no execution overlaps a down interval *)
+  | Fault_retry_bound     (** transient failures ≤ policy max-retries *)
+  | Fault_conservation    (** lost work is re-executed, never dropped *)
 
 val id : t -> string
 (** Stable kebab-case identifier, e.g. ["map-overlap"]. *)

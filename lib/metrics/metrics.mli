@@ -6,21 +6,33 @@
     makespan over the concurrent one — so values lie in (0, 1] with 1
     meaning "not perturbed at all". A schedule is fair when every
     application experiences a similar slowdown; unfairness (Eq. 5) is
-    the L1 dispersion of slowdowns around their mean. *)
+    the L1 dispersion of slowdowns around their mean.
+
+    {b Degenerate applications.} An empty PTG or a faulted run can
+    produce a zero (or non-finite) makespan. Raising there would abort a
+    whole experiment sweep for one pathological draw, so instead:
+    {!slowdown} {e saturates} a degenerate pair to the neutral value 1
+    (an application with no work is, by definition, not slowed down),
+    and {!unfairness_of_makespans} {e skips} degenerate applications so
+    that the saturated value cannot shift the mean the well-formed
+    applications are compared against. Both choices are deliberate and
+    regression-tested. *)
 
 val slowdown : own:float -> multi:float -> float
-(** [M_own / M_multi]. @raise Invalid_argument on non-positive
-    makespans. *)
+(** [M_own / M_multi]. Saturates to [1.] when either makespan is zero,
+    negative or non-finite (degenerate application — see above). *)
 
 val average_slowdown : float array -> float
 (** Eq. 4. @raise Invalid_argument on the empty array. *)
 
 val unfairness : float array -> float
-(** Eq. 5: [Σ_a |slowdown a − average|].
-    @raise Invalid_argument on the empty array. *)
+(** Eq. 5: [Σ_a |slowdown a − average|]. [0.] on the empty array (no
+    applications disagree about their treatment). *)
 
 val unfairness_of_makespans : own:float array -> multi:float array -> float
-(** Convenience composition of the above.
+(** Convenience composition of the above, skipping degenerate
+    applications (zero/non-finite makespan on either side); [0.] when
+    every application is degenerate.
     @raise Invalid_argument on mismatched lengths. *)
 
 val relative_makespan : float -> best:float -> float

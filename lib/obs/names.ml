@@ -16,6 +16,7 @@ let phases =
     ("online.run", "one full online-engine run in virtual time");
     ("online.event", "handling of one non-stale online event");
     ("online.reschedule", "one rescheduling generation (beta + remap)");
+    ("online.fault", "handling of one fault event (outage/recovery/failure)");
   ]
 
 let counters =
@@ -32,6 +33,10 @@ let counters =
     ("online.events", "non-stale events handled by the online engine");
     ("online.reschedules", "rescheduling generations across engine runs");
     ("online.remapped", "placements recomputed by online reschedules");
+    ("online.kills", "running attempts killed by processor outages");
+    ("online.retries", "transient task failures (each costs one retry)");
+    ("online.fault_events", "outage/recovery events processed");
+    ("mapper.release", "ledger reservations released by outage rollbacks");
     ("check.analyses", "invariant analyzer passes");
     ("check.rules", "rules evaluated across analyzer passes");
     ("check.diagnostics", "diagnostics emitted by the analyzer");

@@ -1,12 +1,14 @@
 (** Event-driven online scheduler (the paper's Section 8 future work).
 
-    The engine runs a discrete-event loop in virtual time over three
-    event kinds: application {e arrivals}, {e task finishes} and
-    application {e departures}. On each arrival — and, per
-    {!Policy.t}, on departures and task finishes — the resource
-    constraints β are recomputed with the chosen strategy over the set
-    of {e currently active} applications only (arrived, not completed:
-    an online scheduler cannot know the future submission stream), each
+    The engine runs a discrete-event loop in virtual time over six
+    event kinds: application {e arrivals}, {e task finishes},
+    application {e departures}, and — under fault injection —
+    {e transient task failures}, processor {e outages} and
+    {e recoveries}. On each arrival — and, per {!Policy.t}, on
+    departures and task finishes — the resource constraints β are
+    recomputed with the chosen strategy over the set of
+    {e currently active} applications only (arrived, not completed: an
+    online scheduler cannot know the future submission stream), each
     active application is re-allocated under its new β, and every
     {e unstarted} task is remapped by the concurrent list mapper onto
     the partially-occupied platform. Tasks that have started are pinned:
@@ -15,6 +17,35 @@
     [avail] extension). Departures free processors, so with
     [reschedule_on_departure] the survivors' unstarted tasks backfill
     onto the released share.
+
+    {b Fault injection} ([?faults]) interprets a {!Mcs_fault.Fault}
+    scenario:
+
+    - a processor {e outage} kills every attempt running on a failed
+      processor (the elapsed work is lost; the kill is recorded and the
+      ledger reservation truncated at the outage instant) and triggers a
+      reschedule on the {e degraded} platform: the reference cluster is
+      resized to the surviving aggregate GFlop/s
+      ({!Mcs_sched.Reference_cluster.degrade}), allocations are capped
+      by per-cluster surviving processor counts, and the mapper skips
+      dead processors. Killed tasks are requeued unconditionally — a
+      kill is not a retry. If {e no} processor survives, all unstarted
+      placements are revoked and the engine idles until a recovery;
+    - a {e recovery} restores the processors and reschedules to exploit
+      the recovered capacity (a full mask schedules exactly as the
+      fault-free engine);
+    - a {e transient failure} costs the attempt's full duration, counts
+      one retry, and delays the task's restart by exponential backoff
+      per {!Policy.t}'s [faults] policy. After [max_retries] failures
+      the next attempt is carried through (bounded retry: the run
+      always terminates). Outcomes are pre-rolled per attempt from the
+      scenario seed, so they are independent of scheduling order.
+
+    A PTG whose unique sink is a {e real} task doubles as its exit
+    node: the engine announces both its task finish (it records an
+    execution attempt and can fail transiently like any other task) and
+    the departure at the same instant — the queue's kind order delivers
+    the finish first.
 
     Execution follows the mapper's own time estimates (the engine is
     both scheduler and clock); the resulting schedules are ordinary
@@ -25,13 +56,18 @@
     With {!Policy.static} and every arrival at time 0 the engine
     reschedules exactly once over the full set, and its schedules
     coincide, placement for placement, with
-    {!Mcs_sched.Pipeline.schedule_concurrent}. *)
+    {!Mcs_sched.Pipeline.schedule_concurrent}. Running with an
+    {e empty} fault scenario (no outages, zero failure probability) is
+    observationally identical to running with no scenario at all. *)
 
 type stats = {
   events_processed : int;  (** non-stale events handled by the loop *)
   events_pushed : int;     (** total queue insertions, stale included *)
   reschedules : int;
   remapped_tasks : int;    (** placements recomputed over the whole run *)
+  kills : int;             (** attempts killed by processor outages *)
+  task_failures : int;     (** transient failures observed *)
+  fault_events : int;      (** outage/recovery events processed *)
 }
 
 type result = {
@@ -39,12 +75,15 @@ type result = {
   betas : float array;        (** final β of each application *)
   completions : float array;  (** virtual completion times *)
   responses : float array;    (** completion − release *)
+  executions : Mcs_check.Fault_check.execution list;
+      (** every attempt of every real task, chronological *)
   stats : stats;
 }
 
 val run :
   ?log:(Log.event -> unit) ->
   ?check:(Mcs_check.Diagnostic.t list -> unit) ->
+  ?faults:Mcs_fault.Fault.scenario ->
   policy:Policy.t ->
   Mcs_platform.Platform.t ->
   (Mcs_ptg.Ptg.t * float) list ->
@@ -56,9 +95,11 @@ val run :
     [check] receives, after every reschedule, the diagnostics of
     {!Mcs_check.Online_check.analyze} over a snapshot of that
     reschedule — pin stability, β-over-active-set, no time travel, plus
-    the full allocation and mapping rule sets. An empty list means the
-    generation is clean. Pass
+    the full allocation and mapping rule sets — and, when [faults] is
+    given, one final batch from {!Mcs_check.Fault_check.check} auditing
+    the complete execution log against the outage process
+    (FAULT001–003). An empty list means the generation is clean. Pass
     [fun d -> Mcs_check.Check.fail_on_error d] to turn any violation
     into an exception.
-    @raise Invalid_argument on an empty list or an ill-formed release
-    time. *)
+    @raise Invalid_argument on an empty list, an ill-formed release
+    time, or an ill-formed fault scenario. *)

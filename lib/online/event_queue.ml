@@ -1,7 +1,10 @@
 type kind =
   | Arrival of int
   | Task_finish of { app : int; node : int }
+  | Task_failed of { app : int; node : int }
   | Departure of int
+  | Proc_down of int array
+  | Proc_up of int array
 
 type event = {
   time : float;
@@ -14,14 +17,38 @@ type entry = {
   seq : int;
 }
 
-let kind_rank = function Task_finish _ -> 0 | Departure _ -> 1 | Arrival _ -> 2
+let kind_rank = function
+  | Task_finish _ -> 0
+  | Task_failed _ -> 1
+  | Departure _ -> 2
+  | Arrival _ -> 3
+  | Proc_down _ -> 4
+  | Proc_up _ -> 5
+
+(* Content key breaking ties between equal-time events of the same
+   kind: the insertion sequence alone would make the pop order depend
+   on push order, which stops being canonical once fault events are
+   interleaved with announcements. App index (then node) is the
+   deterministic tiebreak; processor events use their first (lowest)
+   processor id. The sequence number remains as the final resort —
+   e.g. two same-task announcements from different schedule
+   generations — where earlier pushes are stale first. *)
+let kind_key = function
+  | Arrival a | Departure a -> (a, -1)
+  | Task_finish { app; node } | Task_failed { app; node } -> (app, node)
+  | Proc_down ps | Proc_up ps ->
+    ((if Array.length ps = 0 then -1 else ps.(0)), -2)
 
 let entry_cmp a b =
   let c = Float.compare a.ev.time b.ev.time in
   if c <> 0 then c
   else begin
     let c = compare (kind_rank a.ev.kind) (kind_rank b.ev.kind) in
-    if c <> 0 then c else compare a.seq b.seq
+    if c <> 0 then c
+    else begin
+      let c = compare (kind_key a.ev.kind) (kind_key b.ev.kind) in
+      if c <> 0 then c else compare a.seq b.seq
+    end
   end
 
 type t = {

@@ -1,24 +1,38 @@
 (** Deterministic event queue of the online engine.
 
-    Three event kinds drive the engine: an application {e arrival}, the
-    {e finish} of one real task, and an application {e departure} (the
-    finish of its virtual exit node, i.e. its completion). Events are
-    totally ordered by (time, kind, insertion sequence) so that a run is
-    reproducible regardless of heap internals: at equal times, task
-    finishes are observed before departures, and departures before
-    arrivals — an arrival-triggered rescheduling thus sees every
-    simultaneous completion as already done.
+    Six event kinds drive the engine: an application {e arrival}, the
+    {e finish} of one real task, the {e transient failure} of one real
+    task at its end, an application {e departure} (the finish of its
+    virtual exit node, i.e. its completion), and processor
+    {e outage}/{e recovery} events from the fault process. Events are
+    totally ordered by (time, kind, app/node content key, insertion
+    sequence) so that a run is reproducible regardless of heap
+    internals: at equal times, task finishes are observed before
+    transient failures, then departures, then arrivals, then outages,
+    then recoveries — an arrival-triggered rescheduling thus sees every
+    simultaneous completion as already done, and an outage kills no task
+    that completed at that very instant. Within one kind the content key
+    (application index, then node; first processor id for fault events)
+    breaks ties, so the pop order is canonical even when fault events
+    collide with announcements; the insertion sequence is only the final
+    resort (same task announced under two schedule generations: the
+    earlier push is the stale one).
 
-    Task-finish and departure events are invalidated by rescheduling
-    (the engine re-announces the future of every active application
-    after each β recomputation). Instead of searching the queue, events
-    carry the schedule {e version} they were announced under; the engine
-    drops, on pop, any finish/departure whose version is stale. *)
+    Task-finish, task-failed and departure events are invalidated by
+    rescheduling (the engine re-announces the future of every active
+    application after each β recomputation). Instead of searching the
+    queue, events carry the schedule {e version} they were announced
+    under; the engine drops, on pop, any finish/failure/departure whose
+    version is stale. *)
 
 type kind =
   | Arrival of int  (** application index *)
   | Task_finish of { app : int; node : int }
+  | Task_failed of { app : int; node : int }
+      (** transient failure at the attempt's end (fault injection) *)
   | Departure of int  (** application index *)
+  | Proc_down of int array  (** global processor ids failing together *)
+  | Proc_up of int array  (** global processor ids recovering together *)
 
 type event = {
   time : float;
@@ -35,9 +49,10 @@ val push : t -> time:float -> version:int -> kind -> unit
 (** @raise Invalid_argument on a negative or non-finite time. *)
 
 val pop : t -> event option
-(** Remove and return the next event in (time, kind, insertion) order,
-    or [None] when the queue is empty. Staleness is the caller's
-    concern: popped events still carry their announcement version. *)
+(** Remove and return the next event in (time, kind, content key,
+    insertion) order, or [None] when the queue is empty. Staleness is
+    the caller's concern: popped events still carry their announcement
+    version. *)
 
 val peek : t -> event option
 (** The event {!pop} would return, without removing it. *)

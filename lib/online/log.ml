@@ -9,12 +9,20 @@ type event =
     }
   | Task_finish of { time : float; app : int; node : int }
   | Departure of { time : float; app : int; response : float }
+  | Proc_down of { time : float; procs : int array }
+  | Proc_up of { time : float; procs : int array }
+  | Task_failed of { time : float; app : int; node : int; failures : int }
+  | Task_killed of { time : float; app : int; node : int; elapsed : float }
 
 let time = function
   | Arrival { time; _ }
   | Reschedule { time; _ }
   | Task_finish { time; _ }
-  | Departure { time; _ } -> time
+  | Departure { time; _ }
+  | Proc_down { time; _ }
+  | Proc_up { time; _ }
+  | Task_failed { time; _ }
+  | Task_killed { time; _ } -> time
 
 (* Same defensive escaping as Trace: the only free strings are PTG
    names, which the generators control. *)
@@ -57,3 +65,20 @@ let to_json = function
     Printf.sprintf
       "{\"event\":\"departure\",\"time\":%.17g,\"app\":%d,\"response\":%.17g}"
       time app response
+  | Proc_down { time; procs } ->
+    Printf.sprintf "{\"event\":\"proc_down\",\"time\":%.17g,\"procs\":[%s]}"
+      time
+      (String.concat "," (List.map string_of_int (Array.to_list procs)))
+  | Proc_up { time; procs } ->
+    Printf.sprintf "{\"event\":\"proc_up\",\"time\":%.17g,\"procs\":[%s]}" time
+      (String.concat "," (List.map string_of_int (Array.to_list procs)))
+  | Task_failed { time; app; node; failures } ->
+    Printf.sprintf
+      "{\"event\":\"task_failed\",\"time\":%.17g,\"app\":%d,\"node\":%d,\
+       \"failures\":%d}"
+      time app node failures
+  | Task_killed { time; app; node; elapsed } ->
+    Printf.sprintf
+      "{\"event\":\"task_killed\",\"time\":%.17g,\"app\":%d,\"node\":%d,\
+       \"elapsed\":%.17g}"
+      time app node elapsed

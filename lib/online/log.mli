@@ -15,7 +15,9 @@ type event =
     }
   | Reschedule of {
       time : float;
-      trigger : string;  (** "arrival", "departure" or "task_finish" *)
+      trigger : string;
+          (** "arrival", "departure", "task_finish", "task_failed",
+              "proc_down" or "proc_up" *)
       betas : (int * float) list;  (** active application → new β *)
       remapped : int;  (** placements recomputed *)
       pinned : int;  (** placements frozen (started/finished) *)
@@ -25,6 +27,22 @@ type event =
       time : float;
       app : int;
       response : float;  (** completion − release *)
+    }
+  | Proc_down of { time : float; procs : int array }
+      (** processor outage (fault injection) *)
+  | Proc_up of { time : float; procs : int array }
+      (** processor recovery *)
+  | Task_failed of {
+      time : float;
+      app : int;
+      node : int;
+      failures : int;  (** cumulative transient failures of the task *)
+    }
+  | Task_killed of {
+      time : float;
+      app : int;
+      node : int;
+      elapsed : float;  (** work lost: outage instant − attempt start *)
     }
 
 val time : event -> float

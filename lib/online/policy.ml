@@ -1,17 +1,33 @@
+type fault_policy = {
+  max_retries : int;
+  backoff_base : float;
+  shrink_on_retry : bool;
+}
+
+let default_faults =
+  { max_retries = 3; backoff_base = 5.; shrink_on_retry = false }
+
 type t = {
   strategy : Mcs_sched.Strategy.t;
   config : Mcs_sched.Pipeline.config;
   reschedule_on_departure : bool;
   reschedule_on_task_finish : bool;
+  faults : fault_policy;
 }
 
-let make ?(config = Mcs_sched.Pipeline.default_config) strategy =
+let make ?(config = Mcs_sched.Pipeline.default_config)
+    ?(faults = default_faults) strategy =
+  if faults.max_retries < 0 then
+    invalid_arg "Policy.make: negative max_retries";
+  if Float.is_nan faults.backoff_base || faults.backoff_base < 0. then
+    invalid_arg "Policy.make: ill-formed backoff_base";
   {
     strategy;
     config;
     reschedule_on_departure = true;
     reschedule_on_task_finish = false;
+    faults;
   }
 
-let static ?config strategy =
-  { (make ?config strategy) with reschedule_on_departure = false }
+let static ?config ?faults strategy =
+  { (make ?config ?faults strategy) with reschedule_on_departure = false }

@@ -15,17 +15,47 @@
       off by default, exposed for experimentation.
 
     [config] carries the allocation procedure and mapper options, as in
-    the offline {!Mcs_sched.Pipeline}. *)
+    the offline {!Mcs_sched.Pipeline}.
+
+    [faults] governs recovery under fault injection (it is inert when
+    the engine runs without a fault scenario). A task killed by a
+    processor outage is always requeued — mandatory, not a retry. A
+    {e transient} failure consumes one retry: after [max_retries]
+    transient failures the next attempt is carried through (bounded
+    retry — the run always terminates; an operator would eventually
+    blacklist the task or succeed). Each retry waits an exponential
+    backoff ([backoff_base × 2^(failures-1)]) before the task may start
+    again, and [shrink_on_retry] halves the task's allocation per
+    failure (floor 1) — reusing the packing idea: a smaller allocation
+    restarts earlier on a degraded platform. *)
+
+type fault_policy = {
+  max_retries : int;       (** transient failures tolerated per task *)
+  backoff_base : float;    (** seconds; retry [k] waits [base·2^(k-1)] *)
+  shrink_on_retry : bool;  (** halve the allocation per failure *)
+}
+
+val default_faults : fault_policy
+(** 3 retries, 5 s backoff base, no shrinking. *)
 
 type t = {
   strategy : Mcs_sched.Strategy.t;
   config : Mcs_sched.Pipeline.config;
   reschedule_on_departure : bool;
   reschedule_on_task_finish : bool;
+  faults : fault_policy;
 }
 
-val make : ?config:Mcs_sched.Pipeline.config -> Mcs_sched.Strategy.t -> t
-(** Dynamic-β policy: reschedule on arrivals and departures. *)
+val make :
+  ?config:Mcs_sched.Pipeline.config ->
+  ?faults:fault_policy ->
+  Mcs_sched.Strategy.t -> t
+(** Dynamic-β policy: reschedule on arrivals and departures.
+    @raise Invalid_argument on a negative [max_retries] or an
+    ill-formed [backoff_base]. *)
 
-val static : ?config:Mcs_sched.Pipeline.config -> Mcs_sched.Strategy.t -> t
+val static :
+  ?config:Mcs_sched.Pipeline.config ->
+  ?faults:fault_policy ->
+  Mcs_sched.Strategy.t -> t
 (** Arrival-only rescheduling (no departure/task-finish triggers). *)

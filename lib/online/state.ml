@@ -1,6 +1,7 @@
 module Ptg = Mcs_ptg.Ptg
 module P = Mcs_platform.Platform
 module Schedule = Mcs_sched.Schedule
+module Timeline = Mcs_util.Timeline
 module Floatx = Mcs_util.Floatx
 
 type status = Pending | Active | Completed
@@ -13,6 +14,9 @@ type app = {
   mutable beta : float;
   mutable placements : Schedule.placement option array;
   mutable completion : float;
+  failures : int array;
+  retry_at : float array;
+  committed : bool array;
 }
 
 type t = {
@@ -23,6 +27,12 @@ type t = {
   mutable version : int;
   mutable reschedules : int;
   mutable remapped_tasks : int;
+  proc_up : bool array;
+  ledger : Timeline.t;
+  mutable executions : Mcs_check.Fault_check.execution list;
+  mutable kills : int;
+  mutable task_failures : int;
+  mutable fault_events : int;
 }
 
 let create platform apps =
@@ -33,14 +43,18 @@ let create platform apps =
          (fun index (ptg, release) ->
            if not (Float.is_finite release) || release < 0. then
              invalid_arg "State.create: ill-formed release time";
+           let n = Ptg.node_count ptg in
            {
              index;
              ptg;
              release;
              status = Pending;
              beta = Float.nan;
-             placements = Array.make (Ptg.node_count ptg) None;
+             placements = Array.make n None;
              completion = Float.nan;
+             failures = Array.make n 0;
+             retry_at = Array.make n 0.;
+             committed = Array.make n false;
            })
          apps)
   in
@@ -52,6 +66,12 @@ let create platform apps =
     version = 0;
     reschedules = 0;
     remapped_tasks = 0;
+    proc_up = Array.make (P.total_procs platform) true;
+    ledger = Timeline.create ~procs:(P.total_procs platform);
+    executions = [];
+    kills = 0;
+    task_failures = 0;
+    fault_events = 0;
   }
 
 let active t =
@@ -85,6 +105,72 @@ let proc_avail t =
           app.placements)
     t.apps;
   avail
+
+let up_counts t = P.up_counts t.platform ~up:t.proc_up
+let up_power t = P.up_power t.platform ~up:t.proc_up
+let any_up t = Array.exists Fun.id t.proc_up
+let all_up t = Array.for_all Fun.id t.proc_up
+
+let record_execution t (app : app) v (pl : Schedule.placement)
+    ~(finish : float) ~outcome =
+  t.executions <-
+    {
+      Mcs_check.Fault_check.app = app.index;
+      node = v;
+      cluster = pl.Schedule.cluster;
+      procs = pl.Schedule.procs;
+      start = pl.Schedule.start;
+      finish;
+      outcome;
+    }
+    :: t.executions
+
+(* Ledger bookkeeping (fault runs only): every started placement is
+   reserved on its processors, so outage recovery exercises the real
+   release/re-reserve path and double-booking surfaces as a loud
+   [Timeline.reserve] failure instead of silent corruption. *)
+
+let commit_started t =
+  Array.iter
+    (fun app ->
+      if app.status <> Pending then
+        Array.iteri
+          (fun v pl ->
+            match pl with
+            | Some pl
+              when (not app.committed.(v))
+                   && (not (Ptg.is_virtual app.ptg v))
+                   && pl.Schedule.start <= t.now +. Floatx.eps ->
+              Array.iter
+                (fun p ->
+                  Timeline.reserve t.ledger ~proc:p ~start:pl.Schedule.start
+                    ~finish:pl.Schedule.finish)
+                pl.Schedule.procs;
+              app.committed.(v) <- true
+            | Some _ | None -> ())
+          app.placements)
+    t.apps
+
+let rollback t app v (pl : Schedule.placement) ~at =
+  let released =
+    if app.committed.(v) then begin
+      Array.iter
+        (fun p ->
+          Timeline.release t.ledger ~proc:p ~start:pl.Schedule.start
+            ~finish:pl.Schedule.finish)
+        pl.Schedule.procs;
+      Array.length pl.Schedule.procs
+    end
+    else 0
+  in
+  (* Keep the truncated prefix as history: the processors were busy
+     from the start to the kill instant. *)
+  Array.iter
+    (fun p ->
+      Timeline.reserve t.ledger ~proc:p ~start:pl.Schedule.start ~finish:at)
+    pl.Schedule.procs;
+  app.committed.(v) <- false;
+  released
 
 let schedules t =
   Array.to_list

@@ -7,7 +7,15 @@
     {e remappable} placements is purely temporal: a placement whose
     start is at or before [now] has begun (or finished) and can no
     longer be revoked; everything strictly in the future is up for
-    rescheduling. *)
+    rescheduling.
+
+    Fault injection adds a second layer: a per-processor liveness mask
+    ([proc_up]), per-task retry bookkeeping ([failures], [retry_at]),
+    and a {!Mcs_util.Timeline} {e ledger} mirroring every started
+    placement so that outage recovery exercises the real
+    release/re-reserve path ([committed] marks placements currently
+    reserved in the ledger). All of it is inert — never read, never
+    written — when the engine runs without a fault scenario. *)
 
 type status = Pending | Active | Completed
 
@@ -19,6 +27,9 @@ type app = {
   mutable beta : float;  (** last β assigned; [nan] before arrival *)
   mutable placements : Mcs_sched.Schedule.placement option array;
   mutable completion : float;  (** exit finish time; [nan] until done *)
+  failures : int array;  (** transient failures per node, cumulative *)
+  retry_at : float array;  (** backoff floor: node may not start before *)
+  committed : bool array;  (** placement currently reserved in the ledger *)
 }
 
 type t = {
@@ -29,10 +40,18 @@ type t = {
   mutable version : int;  (** schedule generation, bumped per reschedule *)
   mutable reschedules : int;
   mutable remapped_tasks : int;  (** placements recomputed, cumulative *)
+  proc_up : bool array;  (** liveness per global processor id *)
+  ledger : Mcs_util.Timeline.t;  (** started placements, fault runs only *)
+  mutable executions : Mcs_check.Fault_check.execution list;
+      (** every attempt of every real task, most recent first *)
+  mutable kills : int;  (** attempts killed by processor outages *)
+  mutable task_failures : int;  (** transient failures observed *)
+  mutable fault_events : int;  (** outage/recovery events processed *)
 }
 
 val create : Mcs_platform.Platform.t -> (Mcs_ptg.Ptg.t * float) list -> t
-(** One state per engine run; applications keep their list order.
+(** One state per engine run; applications keep their list order. All
+    processors start up, all counters at zero.
     @raise Invalid_argument on an empty list or a negative/non-finite
     release time. *)
 
@@ -50,6 +69,38 @@ val proc_avail : t -> float array
     the [avail] profile for partial rescheduling. Processors without
     running work are free from [now] (mapping into the past is
     impossible either way). *)
+
+val up_counts : t -> int array
+(** Live processors per cluster under the current [proc_up] mask. *)
+
+val up_power : t -> float
+(** Aggregate GFlop/s of the live processors. *)
+
+val any_up : t -> bool
+(** Whether at least one processor is live. *)
+
+val all_up : t -> bool
+(** Whether every processor is live (the engine then schedules exactly
+    as if no fault model were present). *)
+
+val record_execution :
+  t -> app -> int -> Mcs_sched.Schedule.placement ->
+  finish:float -> outcome:Mcs_check.Fault_check.outcome -> unit
+(** Append one attempt record ([finish] overrides the placement's
+    nominal finish — a killed attempt ends at the outage instant). *)
+
+val commit_started : t -> unit
+(** Reserve in the ledger every started, not-yet-committed real
+    placement. Called once per reschedule under fault injection.
+    @raise Invalid_argument if a placement double-books a processor —
+    a scheduling invariant violation that must not pass silently. *)
+
+val rollback : t -> app -> int -> Mcs_sched.Schedule.placement ->
+  at:float -> int
+(** Kill the running attempt of node [v]: release its full reservation
+    from the ledger (if committed), re-reserve the elapsed prefix
+    [[start, at)] as history, and clear the committed flag. Returns the
+    number of processor-reservations released (0 if uncommitted). *)
 
 val schedules : t -> Mcs_sched.Schedule.t list
 (** Final schedules in submission order.

@@ -71,6 +71,36 @@ let total_power t =
   done;
   !acc
 
+let check_up t up =
+  if Array.length up <> t.total_procs then
+    invalid_arg
+      (Printf.sprintf "Platform: up mask has %d entries for %d processors"
+         (Array.length up) t.total_procs)
+
+let up_counts t ~up =
+  check_up t up;
+  let counts = Array.make (Array.length t.clusters) 0 in
+  Array.iteri
+    (fun k c ->
+      let base = t.first_proc.(k) in
+      for p = base to base + c.procs - 1 do
+        if up.(p) then counts.(k) <- counts.(k) + 1
+      done)
+    t.clusters;
+  counts
+
+let up_power t ~up =
+  check_up t up;
+  let acc = ref 0. in
+  Array.iteri
+    (fun k c ->
+      let base = t.first_proc.(k) in
+      for p = base to base + c.procs - 1 do
+        if up.(p) then acc := !acc +. c.gflops
+      done)
+    t.clusters;
+  !acc
+
 let min_speed t =
   Array.fold_left (fun acc c -> Float.min acc c.gflops) Float.infinity t.clusters
 

@@ -50,6 +50,19 @@ val total_power : t -> float
 val cluster_power : t -> int -> float
 (** [procs × gflops] of one cluster. *)
 
+val up_counts : t -> up:bool array -> int array
+(** Surviving processors per cluster under an availability mask indexed
+    by global processor id — the degraded view used by fault-aware
+    allocation.
+    @raise Invalid_argument if the mask length differs from
+    [total_procs]. *)
+
+val up_power : t -> up:bool array -> float
+(** Aggregate power (GFlop/s) of the surviving processors — the
+    degraded denominator of the β resource constraint.
+    @raise Invalid_argument if the mask length differs from
+    [total_procs]. *)
+
 val min_speed : t -> float
 (** Speed of the slowest processor (GFlop/s). *)
 

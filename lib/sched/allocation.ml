@@ -54,7 +54,8 @@ let respects_level_constraint ref_cluster ~beta ptg procs =
     usage;
   !ok
 
-let allocate ?(procedure = Scrap_max) ref_cluster platform ~beta ptg =
+let allocate ?(procedure = Scrap_max) ?up_counts ref_cluster platform ~beta ptg
+    =
   if beta <= 0. || beta > 1. then
     invalid_arg (Printf.sprintf "Allocation.allocate: beta = %g" beta);
   Obs.with_span "alloc.scrap" @@ fun () ->
@@ -62,7 +63,7 @@ let allocate ?(procedure = Scrap_max) ref_cluster platform ~beta ptg =
   let dag = ptg.Ptg.dag in
   let n = Dag.node_count dag in
   let levels = Dag.depth_levels dag in
-  let cap = Reference_cluster.max_allocation ref_cluster platform in
+  let cap = Reference_cluster.max_allocation ?up_counts ref_cluster platform in
   let budget = budget_of ref_cluster ~beta in
   let procs = Array.make n 1 in
   let usage = level_usage ptg procs in

@@ -29,6 +29,7 @@ type result = {
 
 val allocate :
   ?procedure:procedure ->
+  ?up_counts:int array ->
   Reference_cluster.t ->
   Mcs_platform.Platform.t ->
   beta:float ->
@@ -38,7 +39,9 @@ val allocate :
     procedure: [Scrap_max]). Virtual entry/exit nodes keep one processor
     and zero cost. Allocations are capped by
     {!Reference_cluster.max_allocation} so every task fits in at least
-    one real cluster.
+    one real cluster — against the surviving processors only when
+    [up_counts] is given (degraded platform; see
+    {!Mcs_platform.Platform.up_counts}).
     @raise Invalid_argument unless [0 < beta <= 1]. *)
 
 val budget_of : Reference_cluster.t -> beta:float -> int

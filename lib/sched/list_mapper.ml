@@ -163,13 +163,19 @@ let place_task platform ref_cluster avail_idx proc_avail state v ~packing
     let best = ref None in
     for k = 0 to P.cluster_count platform - 1 do
       let c = P.cluster platform k in
-      let needed =
-        Reference_cluster.translate ref_cluster platform ~cluster:k
-          state.alloc.(v)
-      in
       (* Processors of cluster k ordered by (availability, id) — a
-         read-only view maintained incrementally across commits. *)
+         read-only view maintained incrementally across commits. Under a
+         fault mask the view holds the live processors only; a width is
+         capped to what survives, and a fully-down cluster offers no
+         candidate at all. *)
       let order = Avail_index.sorted avail_idx k in
+      if Array.length order > 0 then begin
+      let needed =
+        min
+          (Array.length order)
+          (Reference_cluster.translate ref_cluster platform ~cluster:k
+             state.alloc.(v))
+      in
       (* Hoisted per-cluster predecessor sums: route bandwidths and the
          aggregate-NIC totals of the no-exemption case do not depend on
          the candidate width. *)
@@ -311,9 +317,12 @@ let place_task platform ref_cluster avail_idx proc_avail state v ~packing
             best := better_candidate !best (Some cand)
           end
         done
+      end
     done;
     match !best with
-    | None -> assert false (* there is at least one cluster *)
+    | None ->
+      (* Only reachable when a fault mask leaves no live processor. *)
+      invalid_arg "List_mapper.run: no live cluster can host a task"
     | Some c ->
       Avail_index.update avail_idx c.procs c.finish;
       Obs.incr ~by:(Array.length c.procs) c_avail_reorders;
@@ -331,7 +340,7 @@ let place_task platform ref_cluster avail_idx proc_avail state v ~packing
    every cluster. Existing reservations never move, so no earlier-queued
    task can be delayed — the defining property of conservative
    backfilling. *)
-let place_task_backfill platform ref_cluster timeline state v ~floor
+let place_task_backfill platform ref_cluster timeline subsets state v ~floor
     ~virtual_floor =
   let ptg = state.ptg in
   let dag = ptg.Ptg.dag in
@@ -358,9 +367,15 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
     let best = ref None in
     for k = 0 to P.cluster_count platform - 1 do
       let c = P.cluster platform k in
+      (* Live processors of cluster k; a fault mask may shrink or empty
+         the subset, capping the width exactly as in [place_task]. *)
+      let subset = subsets.(k) in
+      if Array.length subset > 0 then begin
       let needed =
-        Reference_cluster.translate ref_cluster platform ~cluster:k
-          state.alloc.(v)
+        min
+          (Array.length subset)
+          (Reference_cluster.translate ref_cluster platform ~cluster:k
+             state.alloc.(v))
       in
       let exec = Task.time task ~gflops:c.P.gflops ~procs:needed in
       (* Pessimistic data-ready time: per-predecessor transfer cost plus
@@ -393,22 +408,24 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
           +. (!total /. (float_of_int needed *. P.nic_bandwidth platform))
       in
       let after = Float.max floor (Float.max per_pred aggregate) in
-      let base = P.first_proc platform k in
-      let subset = Array.init c.P.procs (fun i -> base + i) in
-      match
-        Mcs_util.Timeline.find_slot ~procs_subset:subset timeline
-          ~count:needed ~duration:exec ~after
-      with
+      (match
+         Mcs_util.Timeline.find_slot ~procs_subset:subset timeline
+           ~count:needed ~duration:exec ~after
+       with
       | None -> ()
       | Some (start, procs) ->
         Obs.incr c_backfill_slots;
         let cand =
           { procs; cluster = k; start; finish = start +. exec }
         in
-        best := better_candidate !best (Some cand)
+        best := better_candidate !best (Some cand))
+      end
     done;
     match !best with
-    | None -> assert false (* allocations are capped to fit a cluster *)
+    | None ->
+      (* Allocations are capped to fit a cluster, so this is only
+         reachable when a fault mask leaves no live processor. *)
+      invalid_arg "List_mapper.run: no live cluster can host a task"
     | Some cand ->
       Array.iter
         (fun p ->
@@ -424,10 +441,14 @@ let place_task_backfill platform ref_cluster timeline state v ~floor
       }
   end
 
-let run ?(options = default_options) ?release ?pinned ?avail platform
-    ref_cluster apps =
+let run ?(options = default_options) ?release ?pinned ?avail ?up ?task_floor
+    platform ref_cluster apps =
   if apps = [] then invalid_arg "List_mapper.run: no applications";
   Obs.with_span "mapper.run" @@ fun () ->
+  (match up with
+  | Some u when Array.length u <> P.total_procs platform ->
+    invalid_arg "List_mapper.run: up length differs from platform"
+  | _ -> ());
   let release =
     match release with
     | None -> Array.make (List.length apps) 0.
@@ -448,6 +469,26 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
            let s = make_state (ptg, alloc) in
            { s with bl = bottom_levels ref_cluster ptg alloc })
          apps)
+  in
+  (* Per-task start floors (retry backoff under fault recovery): max'd
+     with the application release time and the FCFS bound below. *)
+  (match task_floor with
+  | None -> ()
+  | Some f ->
+    if Array.length f <> Array.length states then
+      invalid_arg "List_mapper.run: task_floor length differs from apps";
+    Array.iteri
+      (fun i state ->
+        if Array.length f.(i) <> Dag.node_count state.ptg.Ptg.dag then
+          invalid_arg "List_mapper.run: task_floor node count differs from DAG";
+        Array.iter
+          (fun t ->
+            if Float.is_nan t || t < 0. then
+              invalid_arg "List_mapper.run: ill-formed task floor")
+          f.(i))
+      states);
+  let node_floor i v =
+    match task_floor with None -> 0. | Some f -> f.(i).(v)
   in
   (* Freeze pinned placements: they count as already mapped (successors'
      pending counts drop) but are never (re)placed, and their processor
@@ -493,15 +534,21 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
         a;
       Array.copy a
   in
-  let avail_idx =
-    let groups =
-      Array.init (P.cluster_count platform) (fun k ->
-          let c = P.cluster platform k in
-          let base = P.first_proc platform k in
-          Array.init c.P.procs (fun i -> base + i))
-    in
-    Avail_index.create ~avail:proc_avail ~groups
+  (* Per-cluster live processors: everything without a mask, survivors
+     only under one. New placements land on live processors exclusively;
+     pinned history (including completed work on processors that died
+     later) is untouched. *)
+  let groups =
+    Array.init (P.cluster_count platform) (fun k ->
+        let c = P.cluster platform k in
+        let base = P.first_proc platform k in
+        let all = Array.init c.P.procs (fun i -> base + i) in
+        match up with
+        | None -> all
+        | Some u ->
+          Array.of_list (List.filter (fun p -> u.(p)) (Array.to_list all)))
   in
+  let avail_idx = Avail_index.create ~avail:proc_avail ~groups in
   let timeline =
     lazy
       (let t = Mcs_util.Timeline.create ~procs:(P.total_procs platform) in
@@ -524,8 +571,10 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
     let pl =
       match options.ordering with
       | Global_backfill ->
-        place_task_backfill platform ref_cluster (Lazy.force timeline) state v
-          ~floor:release.(i) ~virtual_floor:release.(i)
+        place_task_backfill platform ref_cluster (Lazy.force timeline) groups
+          state v
+          ~floor:(Float.max release.(i) (node_floor i v))
+          ~virtual_floor:release.(i)
       | Ready_tasks | Global_fcfs ->
         let fcfs_floor =
           match options.ordering with
@@ -534,7 +583,8 @@ let run ?(options = default_options) ?release ?pinned ?avail platform
         in
         place_task platform ref_cluster avail_idx proc_avail state v
           ~packing:options.packing
-          ~floor:(Float.max release.(i) fcfs_floor)
+          ~floor:
+            (Float.max release.(i) (Float.max fcfs_floor (node_floor i v)))
           ~virtual_floor:release.(i)
     in
     state.placements.(v) <- Some pl;

@@ -42,6 +42,8 @@ val run :
   ?release:float array ->
   ?pinned:Schedule.placement option array array ->
   ?avail:float array ->
+  ?up:bool array ->
+  ?task_floor:float array array ->
   Mcs_platform.Platform.t ->
   Reference_cluster.t ->
   (Mcs_ptg.Ptg.t * int array) list ->
@@ -62,6 +64,15 @@ val run :
     [p] may receive new work (default 0 everywhere): the availability
     profile of a partially-occupied platform. A predecessor of an
     unpinned node must be pinned or belong to the mapped set.
+
+    [up] and [task_floor] support fault recovery. [up.(p) = false]
+    masks processor [p] out: no new placement may use it, a translated
+    width is capped to a cluster's surviving processors, and a cluster
+    with no live processor offers no candidate (pinned history is
+    untouched — completed work may legitimately sit on processors that
+    died later). [task_floor.(i).(v)] is an extra per-task start floor
+    (retry backoff), max'd with [release.(i)].
     @raise Invalid_argument on an empty list, an allocation array of
-    the wrong length, a negative/ill-sized [release], or ill-sized
-    [pinned]/[avail]. *)
+    the wrong length, a negative/ill-sized [release], ill-sized
+    [pinned]/[avail]/[up]/[task_floor], or when [up] leaves no live
+    cluster able to host some task. *)

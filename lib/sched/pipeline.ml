@@ -11,9 +11,14 @@ type prepared = {
   allocations : Allocation.result array;
 }
 
-let prepare ?(config = default_config) ~strategy platform ptgs =
+let prepare ?(config = default_config) ?ref_cluster ?up_counts ~strategy
+    platform ptgs =
   Mcs_obs.Obs.with_span "pipeline.allocation" @@ fun () ->
-  let ref_cluster = Reference_cluster.of_platform platform in
+  let ref_cluster =
+    match ref_cluster with
+    | Some r -> r
+    | None -> Reference_cluster.of_platform platform
+  in
   let betas =
     Strategy.betas strategy ~ref_speed:ref_cluster.Reference_cluster.speed ptgs
   in
@@ -21,8 +26,8 @@ let prepare ?(config = default_config) ~strategy platform ptgs =
     Array.of_list
       (List.mapi
          (fun i ptg ->
-           Allocation.allocate ~procedure:config.procedure ref_cluster
-             platform ~beta:betas.(i) ptg)
+           Allocation.allocate ~procedure:config.procedure ?up_counts
+             ref_cluster platform ~beta:betas.(i) ptg)
          ptgs)
   in
   { betas; allocations }

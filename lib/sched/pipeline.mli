@@ -18,11 +18,17 @@ type prepared = {
 
 val prepare :
   ?config:config ->
+  ?ref_cluster:Reference_cluster.t ->
+  ?up_counts:int array ->
   strategy:Strategy.t ->
   Mcs_platform.Platform.t ->
   Mcs_ptg.Ptg.t list ->
   prepared
-(** Run the allocation step only. *)
+(** Run the allocation step only. [ref_cluster] overrides the reference
+    cluster derived from the full platform — the online engine passes a
+    {!Reference_cluster.degrade}d one during an outage so β shares are
+    taken of the surviving aggregate power; [up_counts] likewise caps
+    per-task allocations to what still fits in some live cluster. *)
 
 val schedule_concurrent :
   ?config:config ->

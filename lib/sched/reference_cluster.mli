@@ -22,6 +22,15 @@ val make : speed:float -> procs:int -> t
 (** Direct constructor, mainly for tests.
     @raise Invalid_argument on non-positive arguments. *)
 
+val degrade : t -> power:float -> t
+(** The reference cluster seen by a degraded platform: same reference
+    speed (the full platform's slowest processor stays the yardstick, so
+    β shares and reference execution times keep their meaning across
+    outages), size recomputed as [max 1 ⌊power/speed⌋] from the
+    surviving aggregate power. [degrade t ~power:(full power)] is [t]
+    itself.
+    @raise Invalid_argument on a non-positive or non-finite [power]. *)
+
 val exec_time : t -> Mcs_taskmodel.Task.t -> procs:int -> float
 (** Amdahl execution time of a task on [procs] reference processors;
     0 for virtual (zero) tasks. *)
@@ -35,7 +44,12 @@ val translate :
 val fits : t -> Mcs_platform.Platform.t -> cluster:int -> int -> bool
 (** Whether [round (p·s_ref/s_k)] fits in the cluster without clamping. *)
 
-val max_allocation : t -> Mcs_platform.Platform.t -> int
+val max_allocation : ?up_counts:int array -> t -> Mcs_platform.Platform.t -> int
 (** Largest reference allocation whose translation fits in at least one
     cluster — the hard cap used during allocation (a data-parallel task
-    runs inside a single cluster). *)
+    runs inside a single cluster). With [up_counts] (surviving
+    processors per cluster, see {!Mcs_platform.Platform.up_counts}) the
+    fit is against the survivors only; the result is 0 when every
+    cluster is fully down.
+    @raise Invalid_argument if [up_counts] does not have exactly one
+    entry per cluster. *)

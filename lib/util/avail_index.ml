@@ -108,3 +108,7 @@ let update t ids v =
     done;
     Array.iter (fun id -> t.mark.(id) <- false) ids
   end
+
+(* Rolling a commit back is the same repair with a key that moves the
+   other way; the mark/compact/merge pass never assumed keys only grow. *)
+let release = update

@@ -37,3 +37,12 @@ val update : t -> int array -> float -> unit
     affected group is repaired with a single merge pass. Safe to call
     with an empty array (no-op).
     @raise Invalid_argument on an id outside every group. *)
+
+val release : t -> int array -> float -> unit
+(** [release t ids v] rolls the availability of [ids] back to [v] —
+    the rollback counterpart of a commit, used when fault recovery
+    revokes placements. The repair pass is direction-agnostic, so this
+    is exactly {!update}; the distinct name marks intent at call sites
+    and pins the rollback contract: after [release t ids v] the index is
+    indistinguishable from one freshly built with those availabilities
+    (property-tested). *)

@@ -29,6 +29,16 @@ val reserve : t -> proc:int -> start:float -> finish:float -> unit
     @raise Invalid_argument if the interval is ill-formed, out of range,
     or overlaps an existing reservation on that processor. *)
 
+val release : t -> proc:int -> start:float -> finish:float -> unit
+(** Remove the reservation [start, finish) from [proc] — the rollback of
+    a previous {!reserve}, used when fault recovery revokes a committed
+    placement. Zero-length intervals are ignored. After a release the
+    timeline is indistinguishable from one where the reservation was
+    never made.
+    @raise Invalid_argument if the interval is ill-formed, out of range,
+    or does not match an existing reservation exactly (within the
+    internal epsilon). *)
+
 val is_free : t -> proc:int -> start:float -> finish:float -> bool
 (** Whether [proc] is idle during the whole interval. *)
 

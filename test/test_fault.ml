@@ -1,0 +1,525 @@
+(* Fault injection & recovery: seeded generator determinism, the pure
+   transient-failure draws, the engine's kill/requeue/retry handling
+   under outages, the FAULT001-003 execution audit, the event queue's
+   canonical equal-time ordering, and the release (rollback) paths of
+   Timeline and Avail_index. *)
+
+module Grid5000 = Mcs_platform.Grid5000
+module Platform = Mcs_platform.Platform
+module Prng = Mcs_prng.Prng
+module Fault = Mcs_fault.Fault
+module Engine = Mcs_online.Engine
+module Policy = Mcs_online.Policy
+module Log = Mcs_online.Log
+module Event_queue = Mcs_online.Event_queue
+module Fault_check = Mcs_check.Fault_check
+module Diagnostic = Mcs_check.Diagnostic
+module Strategy = Mcs_sched.Strategy
+module Task = Mcs_taskmodel.Task
+module Ptg = Mcs_ptg.Ptg
+module Timeline = Mcs_util.Timeline
+module Avail_index = Mcs_util.Avail_index
+
+(* --- event queue: canonical order at equal timestamps --- *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  let push k = Event_queue.push q ~time:5. ~version:0 k in
+  (* Scrambled insertion order on purpose. *)
+  push (Event_queue.Arrival 2);
+  push (Event_queue.Proc_up [| 3 |]);
+  push (Event_queue.Task_failed { app = 0; node = 2 });
+  push (Event_queue.Departure 1);
+  push (Event_queue.Task_finish { app = 1; node = 0 });
+  push (Event_queue.Task_finish { app = 0; node = 7 });
+  push (Event_queue.Proc_down [| 1; 2 |]);
+  push (Event_queue.Arrival 0);
+  Event_queue.push q ~time:4. ~version:3 (Event_queue.Departure 9);
+  let expected =
+    [
+      Event_queue.Departure 9;
+      Event_queue.Task_finish { app = 0; node = 7 };
+      Event_queue.Task_finish { app = 1; node = 0 };
+      Event_queue.Task_failed { app = 0; node = 2 };
+      Event_queue.Departure 1;
+      Event_queue.Arrival 0;
+      Event_queue.Arrival 2;
+      Event_queue.Proc_down [| 1; 2 |];
+      Event_queue.Proc_up [| 3 |];
+    ]
+  in
+  let popped =
+    List.init (List.length expected) (fun _ ->
+        (Option.get (Event_queue.pop q)).Event_queue.kind)
+  in
+  Alcotest.(check bool)
+    "finishes < failures < departures < arrivals < outages < recoveries"
+    true (popped = expected);
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_event_queue_insertion_tie () =
+  (* Same time, kind and content key: insertion sequence decides, so the
+     stale announcement (pushed first, lower version) pops first. *)
+  let q = Event_queue.create () in
+  let kind = Event_queue.Task_finish { app = 0; node = 1 } in
+  Event_queue.push q ~time:2. ~version:1 kind;
+  Event_queue.push q ~time:2. ~version:2 kind;
+  let a = Option.get (Event_queue.pop q) in
+  let b = Option.get (Event_queue.pop q) in
+  Alcotest.(check int) "earlier push first" 1 a.Event_queue.version;
+  Alcotest.(check int) "later push second" 2 b.Event_queue.version;
+  Alcotest.(check bool) "rejects non-finite time" true
+    (try
+       Event_queue.push q ~time:Float.nan ~version:0 kind;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- generator: determinism, outage pairing, validation --- *)
+
+let outage_config =
+  {
+    Fault.default with
+    Fault.mttf = 400.;
+    mttr = 50.;
+    task_fail_p = 0.1;
+    horizon = 2000.;
+  }
+
+let test_generator_determinism () =
+  let platform = Grid5000.lille () in
+  let a = Fault.generate ~seed:42 platform outage_config in
+  let b = Fault.generate ~seed:42 platform outage_config in
+  Alcotest.(check bool) "same seed, same scenario" true (a = b);
+  let c = Fault.generate ~seed:43 platform outage_config in
+  Alcotest.(check bool) "different seed, different outages" true
+    (a.Fault.outages <> c.Fault.outages);
+  Alcotest.(check bool) "mttf 400 over 2000s produces outages" true
+    (a.Fault.outages <> []);
+  Alcotest.(check bool) "empty only without outages and failures" false
+    (Fault.is_empty a);
+  Alcotest.(check bool) "no_faults is empty" true
+    (Fault.is_empty Fault.no_faults)
+
+let check_outage_shape platform config s =
+  let total = Platform.total_procs platform in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "recovery after failure" true
+        (o.Fault.up_at > o.Fault.down_at);
+      Alcotest.(check bool) "failure within horizon" true
+        (o.Fault.down_at >= 0. && o.Fault.down_at <= config.Fault.horizon);
+      Alcotest.(check bool) "procs non-empty, increasing, in range" true
+        (Array.length o.Fault.procs > 0
+        && Array.for_all (fun p -> p >= 0 && p < total) o.Fault.procs
+        &&
+        let ok = ref true in
+        Array.iteri
+          (fun i p -> if i > 0 then ok := !ok && p > o.Fault.procs.(i - 1))
+          o.Fault.procs;
+        !ok))
+    s.Fault.outages;
+  let keys =
+    List.map (fun o -> (o.Fault.down_at, o.Fault.procs.(0))) s.Fault.outages
+  in
+  Alcotest.(check bool) "outages sorted by (down_at, first proc)" true
+    (keys = List.sort compare keys)
+
+let test_outage_pairing () =
+  let platform = Grid5000.lille () in
+  let s = Fault.generate ~seed:7 platform outage_config in
+  check_outage_shape platform outage_config s;
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "proc granularity fails one processor" 1
+        (Array.length o.Fault.procs))
+    s.Fault.outages;
+  let cluster_config = { outage_config with Fault.granularity = Cluster } in
+  let sc = Fault.generate ~seed:7 platform cluster_config in
+  check_outage_shape platform cluster_config sc;
+  List.iter
+    (fun o ->
+      let c = Platform.cluster_of_proc platform o.Fault.procs.(0) in
+      Alcotest.(check int) "cluster granularity fails a whole cluster"
+        (Platform.cluster platform c).Platform.procs
+        (Array.length o.Fault.procs);
+      Array.iter
+        (fun p ->
+          Alcotest.(check int) "all procs of one cluster" c
+            (Platform.cluster_of_proc platform p))
+        o.Fault.procs)
+    sc.Fault.outages
+
+let test_generate_validation () =
+  let platform = Grid5000.lille () in
+  let raises config =
+    try
+      ignore (Fault.generate ~seed:0 platform config);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "mttf 0" true
+    (raises { outage_config with Fault.mttf = 0. });
+  Alcotest.(check bool) "mttr 0" true
+    (raises { outage_config with Fault.mttr = 0. });
+  Alcotest.(check bool) "mttr nan" true
+    (raises { outage_config with Fault.mttr = Float.nan });
+  Alcotest.(check bool) "task_fail_p < 0" true
+    (raises { outage_config with Fault.task_fail_p = -0.1 });
+  Alcotest.(check bool) "task_fail_p > 1" true
+    (raises { outage_config with Fault.task_fail_p = 1.5 });
+  Alcotest.(check bool) "horizon 0" true
+    (raises { outage_config with Fault.horizon = 0. })
+
+let test_roll_failure () =
+  let platform = Grid5000.lille () in
+  let s =
+    Fault.generate ~seed:5 platform
+      { Fault.default with Fault.task_fail_p = 0.5 }
+  in
+  let hits = ref 0 in
+  for app = 0 to 9 do
+    for node = 0 to 9 do
+      for attempt = 0 to 9 do
+        let r = Fault.roll_failure s ~app ~node ~attempt in
+        Alcotest.(check bool) "pure in (app, node, attempt)" r
+          (Fault.roll_failure s ~app ~node ~attempt);
+        if r then incr hits
+      done
+    done
+  done;
+  Alcotest.(check bool) "p = 0.5 hits roughly half of 1000 draws" true
+    (!hits > 400 && !hits < 600);
+  for attempt = 0 to 9 do
+    Alcotest.(check bool) "p = 0 never fails" false
+      (Fault.roll_failure Fault.no_faults ~app:0 ~node:1 ~attempt)
+  done
+
+(* --- engine under faults --- *)
+
+let apps_of n seed ~mean =
+  let rng = Prng.create ~seed in
+  let ptgs =
+    List.init n (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+  in
+  let arrivals = Prng.create ~seed:(seed + 1) in
+  let clock = ref 0. in
+  List.mapi
+    (fun i ptg ->
+      if i > 0 then clock := !clock +. Prng.exponential arrivals ~mean;
+      (ptg, !clock))
+    ptgs
+
+let run_logged ?faults ?policy platform apps =
+  let policy =
+    match policy with Some p -> p | None -> Policy.make Strategy.Equal_share
+  in
+  let logs = ref [] in
+  let r =
+    Engine.run ~log:(fun e -> logs := Log.to_json e :: !logs) ?faults ~policy
+      platform apps
+  in
+  (List.rev !logs, r)
+
+let test_zero_fault_equivalence () =
+  (* [faults:(Some no_faults)] routes through the full fault plumbing
+     (ledger, fail rolls, degraded-β guard) yet must replay the exact
+     un-faulted run: same event log, same schedules, same stats. *)
+  let platform = Grid5000.lille () in
+  let apps = apps_of 5 21 ~mean:25. in
+  let logs0, r0 = run_logged platform apps in
+  let logs1, r1 = run_logged ~faults:Fault.no_faults platform apps in
+  Alcotest.(check (list string)) "identical event logs" logs0 logs1;
+  Alcotest.(check bool) "identical betas" true (r0.Engine.betas = r1.Engine.betas);
+  Alcotest.(check bool) "identical responses" true
+    (r0.Engine.responses = r1.Engine.responses);
+  Alcotest.(check bool) "identical schedules" true
+    (r0.Engine.schedules = r1.Engine.schedules);
+  Alcotest.(check bool) "identical stats" true
+    (r0.Engine.stats = r1.Engine.stats);
+  Alcotest.(check int) "no kills" 0 r1.Engine.stats.Engine.kills
+
+let faulted_scenario platform =
+  Fault.generate ~seed:11 platform
+    {
+      Fault.default with
+      Fault.mttf = 600.;
+      mttr = 60.;
+      task_fail_p = 0.05;
+      horizon = 1200.;
+    }
+
+let test_fault_determinism () =
+  let platform = Grid5000.lille () in
+  let apps = apps_of 5 21 ~mean:25. in
+  let faults = faulted_scenario platform in
+  let logs0, r0 = run_logged ~faults platform apps in
+  let logs1, r1 = run_logged ~faults platform apps in
+  Alcotest.(check (list string)) "identical faulted logs" logs0 logs1;
+  Alcotest.(check bool) "identical faulted stats" true
+    (r0.Engine.stats = r1.Engine.stats);
+  Alcotest.(check bool) "identical executions" true
+    (r0.Engine.executions = r1.Engine.executions);
+  Alcotest.(check bool) "outages were processed" true
+    (r0.Engine.stats.Engine.fault_events > 0)
+
+let test_kill_conservation () =
+  (* Kills truncate attempts mid-task; the execution audit proves the
+     lost work was re-run and every task still completed exactly once
+     outside every down interval. *)
+  let platform = Grid5000.lille () in
+  let apps = apps_of 5 21 ~mean:25. in
+  let faults = faulted_scenario platform in
+  let diags = ref [] in
+  let _, r =
+    run_logged ~faults platform apps
+  in
+  let checked, rc =
+    let logs = ref [] in
+    let r =
+      Engine.run
+        ~log:(fun e -> logs := e :: !logs)
+        ~check:(fun d -> diags := !diags @ d)
+        ~faults
+        ~policy:(Policy.make Strategy.Equal_share)
+        platform apps
+    in
+    (List.rev !logs, r)
+  in
+  Alcotest.(check (list string)) "engine audit clean" []
+    (List.map Diagnostic.to_string (Diagnostic.errors !diags));
+  Alcotest.(check bool) "check does not perturb the run" true
+    (r.Engine.executions = rc.Engine.executions);
+  Alcotest.(check bool) "scenario induces kills" true
+    (rc.Engine.stats.Engine.kills > 0);
+  Alcotest.(check bool) "kills were logged" true
+    (List.exists
+       (function Log.Task_killed _ -> true | _ -> false)
+       checked);
+  Alcotest.(check bool) "all responses finite" true
+    (Array.for_all Float.is_finite rc.Engine.responses);
+  let down =
+    Fault.down_intervals faults ~procs:(Platform.total_procs platform)
+  in
+  let ptgs = Array.of_list (List.map fst apps) in
+  Alcotest.(check (list string)) "standalone FAULT audit clean" []
+    (List.map Diagnostic.to_string
+       (Fault_check.check ~max_retries:3 ~down platform ~ptgs
+          rc.Engine.executions))
+
+let test_real_exit_records () =
+  (* A PTG whose unique sink is a real task reuses it as the exit node;
+     its completion must still be recorded as an execution attempt
+     (regression: the departure used to swallow the finish, tripping
+     FAULT003 on every real-exit PTG). *)
+  let platform = Grid5000.lille () in
+  let t = Task.make ~data:1e7 ~complexity:Matmul ~alpha:0.1 in
+  let ptg =
+    Mcs_ptg.Builder.build ~id:0 ~name:"chain2" ~tasks:[| t; t |]
+      ~edges:[ (0, 1, 0.) ]
+  in
+  let sink = Ptg.exit ptg in
+  Alcotest.(check bool) "sink reused as exit" false (Ptg.is_virtual ptg sink);
+  let r =
+    Engine.run ~faults:Fault.no_faults ~policy:(Policy.make Strategy.Equal_share)
+      platform
+      [ (ptg, 0.) ]
+  in
+  Alcotest.(check int) "one completed attempt for the real exit" 1
+    (List.length
+       (List.filter
+          (fun e ->
+            e.Fault_check.node = sink
+            && e.Fault_check.outcome = Fault_check.Completed)
+          r.Engine.executions));
+  let down = Array.make (Platform.total_procs platform) [] in
+  Alcotest.(check (list string)) "conservation audit clean" []
+    (List.map Diagnostic.to_string
+       (Fault_check.check ~max_retries:0 ~down platform ~ptgs:[| ptg |]
+          r.Engine.executions))
+
+(* --- FAULT001-003 on hand-built execution logs --- *)
+
+let test_fault_rules () =
+  let platform = Grid5000.lille () in
+  let t = Task.make ~data:1e7 ~complexity:Matmul ~alpha:0.1 in
+  let ptg =
+    Mcs_ptg.Builder.build ~id:0 ~name:"single" ~tasks:[| t |] ~edges:[]
+  in
+  let node =
+    Option.get
+      (List.find_opt
+         (fun v -> not (Ptg.is_virtual ptg v))
+         (List.init (Ptg.node_count ptg) Fun.id))
+  in
+  let full =
+    Task.time t ~gflops:(Platform.cluster platform 0).Platform.gflops ~procs:1
+  in
+  let total = Platform.total_procs platform in
+  let no_down = Array.make total [] in
+  let exec ?(start = 0.) ?(finish = full) outcome =
+    { Fault_check.app = 0; node; cluster = 0; procs = [| 0 |]; start; finish;
+      outcome }
+  in
+  let ids ?(max_retries = 3) ?(down = no_down) execs =
+    Diagnostic.rule_ids
+      (Fault_check.check ~max_retries ~down platform ~ptgs:[| ptg |] execs)
+  in
+  Alcotest.(check (list string)) "clean single completion" []
+    (ids [ exec Fault_check.Completed ]);
+  let down = Array.make total [] in
+  down.(0) <- [ (full /. 4., full /. 2.) ];
+  Alcotest.(check (list string)) "FAULT001: attempt overlaps a down interval"
+    [ "fault-down-overlap" ]
+    (ids ~down [ exec Fault_check.Completed ]);
+  Alcotest.(check (list string)) "kill truncated at the outage is legal" []
+    (ids ~down
+       [
+         exec ~finish:(full /. 4.) Fault_check.Killed;
+         exec ~start:(full /. 2.) ~finish:(full /. 2. +. full)
+           Fault_check.Completed;
+       ]);
+  Alcotest.(check (list string)) "FAULT002: failures exceed max-retries"
+    [ "fault-retry-bound" ]
+    (ids ~max_retries:1
+       [
+         exec Fault_check.Failed;
+         exec ~start:(full +. 1.) ~finish:(2. *. full +. 1.)
+           Fault_check.Failed;
+         exec ~start:(2. *. full +. 2.) ~finish:(3. *. full +. 2.)
+           Fault_check.Completed;
+       ]);
+  Alcotest.(check (list string)) "FAULT003: task never completed"
+    [ "fault-conservation" ]
+    (ids [ exec Fault_check.Failed ]);
+  Alcotest.(check (list string)) "FAULT003: completion not last"
+    [ "fault-conservation" ]
+    (ids
+       [
+         exec Fault_check.Completed;
+         exec ~start:(full +. 1.) ~finish:(full +. 2.) Fault_check.Killed;
+       ]);
+  Alcotest.(check (list string)) "FAULT003: short completion"
+    [ "fault-conservation" ]
+    (ids [ exec ~finish:(full /. 2.) Fault_check.Completed ])
+
+(* --- release rollback ≡ fresh build (Timeline, Avail_index) --- *)
+
+let test_timeline_release_replace () =
+  let rng = Prng.create ~seed:9 in
+  for _trial = 1 to 25 do
+    let procs = 1 + Prng.int rng 4 in
+    (* Non-overlapping reservations per processor, random gaps. *)
+    let all = ref [] in
+    for proc = 0 to procs - 1 do
+      let t = ref 0. in
+      for _ = 1 to Prng.int rng 6 do
+        let start = !t +. Prng.uniform rng ~lo:0.1 ~hi:5. in
+        let finish = start +. Prng.uniform rng ~lo:0.5 ~hi:10. in
+        t := finish;
+        all := (proc, start, finish) :: !all
+      done
+    done;
+    let all = List.rev !all in
+    let tl = Timeline.create ~procs in
+    List.iter
+      (fun (proc, start, finish) -> Timeline.reserve tl ~proc ~start ~finish)
+      all;
+    let keep, drop = List.partition (fun _ -> Prng.bool rng) all in
+    List.iter
+      (fun (proc, start, finish) -> Timeline.release tl ~proc ~start ~finish)
+      drop;
+    let fresh intervals =
+      let f = Timeline.create ~procs in
+      List.iter
+        (fun (proc, start, finish) -> Timeline.reserve f ~proc ~start ~finish)
+        intervals;
+      f
+    in
+    let same what a b =
+      for proc = 0 to procs - 1 do
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+          what
+          (Timeline.busy_intervals a ~proc)
+          (Timeline.busy_intervals b ~proc)
+      done
+    in
+    same "release ≡ never reserved" tl (fresh keep);
+    (* Replacing the released intervals (in a different order) restores
+       the original timeline exactly. *)
+    let back = Array.of_list drop in
+    Prng.shuffle rng back;
+    Array.iter
+      (fun (proc, start, finish) -> Timeline.reserve tl ~proc ~start ~finish)
+      back;
+    same "release then replace ≡ fresh build" tl (fresh all)
+  done
+
+let test_avail_index_release () =
+  let rng = Prng.create ~seed:17 in
+  for _trial = 1 to 25 do
+    let n = 4 + Prng.int rng 8 in
+    let cut = 1 + Prng.int rng (n - 1) in
+    let groups =
+      [|
+        Array.init cut Fun.id; Array.init (n - cut) (fun i -> cut + i);
+      |]
+    in
+    let avail = Array.make n 0. in
+    let idx = Avail_index.create ~avail ~groups in
+    let journal = ref [] in
+    for _ = 1 to 8 do
+      let count = 1 + Prng.int rng 3 in
+      let ids =
+        Array.of_list (Prng.pick_distinct rng n ~count)
+      in
+      let before = Array.map (fun id -> (id, avail.(id))) ids in
+      Avail_index.update idx ids (Prng.uniform rng ~lo:0. ~hi:50.);
+      journal := before :: !journal
+    done;
+    (* Roll every commit back in reverse order; the index must be
+       indistinguishable from a freshly built all-zero one. *)
+    List.iter
+      (fun before ->
+        Array.iter
+          (fun (id, v) -> Avail_index.release idx [| id |] v)
+          before)
+      !journal;
+    let fresh = Avail_index.create ~avail:(Array.make n 0.) ~groups in
+    for g = 0 to Avail_index.group_count idx - 1 do
+      Alcotest.(check (array int))
+        "release in reverse ≡ fresh index"
+        (Avail_index.sorted fresh g) (Avail_index.sorted idx g)
+    done;
+    Array.iter (fun v -> Alcotest.(check (float 0.)) "avail reset" 0. v) avail
+  done
+
+let suite =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "event queue canonical order" `Quick
+          test_event_queue_order;
+        Alcotest.test_case "event queue insertion tie-break" `Quick
+          test_event_queue_insertion_tie;
+        Alcotest.test_case "generator determinism" `Quick
+          test_generator_determinism;
+        Alcotest.test_case "outage pairing + granularity" `Quick
+          test_outage_pairing;
+        Alcotest.test_case "config validation" `Quick test_generate_validation;
+        Alcotest.test_case "transient draws pure" `Quick test_roll_failure;
+        Alcotest.test_case "zero-fault equivalence" `Quick
+          test_zero_fault_equivalence;
+        Alcotest.test_case "faulted run determinism" `Quick
+          test_fault_determinism;
+        Alcotest.test_case "kill-mid-task conservation" `Quick
+          test_kill_conservation;
+        Alcotest.test_case "real exit node records execution" `Quick
+          test_real_exit_records;
+        Alcotest.test_case "FAULT001-003 adversarial" `Quick test_fault_rules;
+        Alcotest.test_case "timeline release-then-replace" `Quick
+          test_timeline_release_replace;
+        Alcotest.test_case "avail index release rollback" `Quick
+          test_avail_index_release;
+      ] );
+  ]

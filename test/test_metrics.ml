@@ -5,11 +5,25 @@ let check_float = Alcotest.(check (float 1e-9))
 let test_slowdown () =
   check_float "no perturbation" 1. (Metrics.slowdown ~own:10. ~multi:10.);
   check_float "5x delay" 0.2 (Metrics.slowdown ~own:10. ~multi:50.);
-  Alcotest.(check bool) "validation" true
-    (try
-       ignore (Metrics.slowdown ~own:0. ~multi:1.);
-       false
-     with Invalid_argument _ -> true)
+  (* Degenerate makespans saturate to the neutral 1 instead of raising:
+     one empty-PTG draw must not abort a whole sweep. *)
+  check_float "zero own saturates" 1. (Metrics.slowdown ~own:0. ~multi:1.);
+  check_float "zero multi saturates" 1. (Metrics.slowdown ~own:1. ~multi:0.);
+  check_float "nan saturates" 1. (Metrics.slowdown ~own:Float.nan ~multi:1.);
+  check_float "inf saturates" 1.
+    (Metrics.slowdown ~own:Float.infinity ~multi:1.)
+
+let test_degenerate_apps_skipped () =
+  (* A degenerate application is skipped, leaving the others' dispersion
+     untouched... *)
+  let own = [| 10.; 10.; 0. |] and multi = [| 20.; 40.; 30. |] in
+  check_float "degenerate app skipped" 0.25
+    (Metrics.unfairness_of_makespans ~own ~multi);
+  (* ...and an all-degenerate population is (vacuously) fair. *)
+  check_float "all degenerate" 0.
+    (Metrics.unfairness_of_makespans ~own:[| 0.; Float.nan |]
+       ~multi:[| 1.; 1. |]);
+  check_float "empty is fair" 0. (Metrics.unfairness [||])
 
 let test_average_slowdown () =
   check_float "avg" 0.84
@@ -78,6 +92,8 @@ let suite =
         Alcotest.test_case "uniform is fair" `Quick
           test_unfairness_zero_when_equal;
         Alcotest.test_case "from makespans" `Quick test_unfairness_of_makespans;
+        Alcotest.test_case "degenerate apps skipped" `Quick
+          test_degenerate_apps_skipped;
         Alcotest.test_case "relative makespan" `Quick test_relative_makespan;
         QCheck_alcotest.to_alcotest qcheck_unfairness_nonneg_and_bounded;
         QCheck_alcotest.to_alcotest qcheck_unfairness_translation_insensitive;
