@@ -170,12 +170,177 @@ let run_online () =
     [ 2; 4; 6; 8; 10; 16 ];
   Mcs_util.Table.print table
 
-(* ---------- Pipeline phase baseline (BENCH_pipeline.json) ---------- *)
+(* ---------- Serving engine (serve table + BENCH_serve.json) ---------- *)
 
 module Obs = Mcs_obs.Obs
 module Export = Mcs_obs.Export
 module Names = Mcs_obs.Names
 module Jsonx = Mcs_util.Jsonx
+module Service = Mcs_serve.Service
+module Admission = Mcs_serve.Admission
+module Serve_stats = Mcs_serve.Stats
+
+let serve_baseline_file = "BENCH_serve.json"
+
+(* Poisson stream at mean 1 s virtual inter-arrival: dense enough that
+   hundreds of applications are in service at once — the serving
+   regime, not the paper's sparse offline one. *)
+let serve_workload count seed =
+  let rng = Mcs_prng.Prng.create ~seed in
+  let ptgs =
+    List.init count (fun id ->
+        Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+  in
+  let clock = ref 0. in
+  List.mapi
+    (fun i ptg ->
+      if i > 0 then clock := !clock +. Mcs_prng.Prng.exponential rng ~mean:1.;
+      (ptg, !clock))
+    ptgs
+
+let serve_config ~shards ~mode =
+  {
+    Service.default_config with
+    Service.shards;
+    mode;
+    admission = { Admission.default with Admission.batch_window = 5. };
+  }
+
+(* Sharding sweep in real multi-domain mode: sustained submission and
+   event throughput plus virtual-time response percentiles. *)
+let run_serve () =
+  let platform = Mcs_platform.Grid5000.grid () in
+  let count = 300 in
+  let apps = serve_workload count 23 in
+  let table =
+    Mcs_util.Table.create
+      ~title:
+        "serving engine (grid, 300 apps, Poisson mean 1 s, window 5 s, \
+         least-work router)"
+      ~header:
+        [
+          "shards"; "mode"; "subs/s"; "events/s"; "p50 resp"; "p99 resp";
+          "peak active"; "wall";
+        ]
+  in
+  let row ~shards ~mode ~label =
+    let r = Service.run_stream (serve_config ~shards ~mode) platform apps in
+    if r.Service.admitted <> count then begin
+      Printf.eprintf "serve: %d of %d admitted\n" r.Service.admitted count;
+      exit 1
+    end;
+    let p p_ = Serve_stats.percentile r.Service.responses ~p:p_ in
+    Mcs_util.Table.add_row table
+      [
+        string_of_int shards;
+        label;
+        Printf.sprintf "%.0f"
+          (float_of_int r.Service.admitted /. r.Service.wall_s);
+        Printf.sprintf "%.0f" (float_of_int r.Service.events /. r.Service.wall_s);
+        Printf.sprintf "%.0f s" (p 0.50);
+        Printf.sprintf "%.0f s" (p 0.99);
+        string_of_int r.Service.peak_active;
+        Printf.sprintf "%.1f s" r.Service.wall_s;
+      ];
+    r
+  in
+  ignore (row ~shards:1 ~mode:Service.Domains ~label:"domains");
+  ignore (row ~shards:2 ~mode:Service.Domains ~label:"domains");
+  let r4 = row ~shards:4 ~mode:Service.Domains ~label:"domains" in
+  Mcs_util.Table.print table;
+  (* Baseline profile in the inline fallback: spans stay on the calling
+     domain, so serve.run/pickup/step appear with meaningful self
+     times. The summary row gates non-zero sustained throughput. *)
+  Obs.enable ();
+  let ri =
+    Service.run_stream
+      (serve_config ~shards:4 ~mode:Service.Inline)
+      platform apps
+  in
+  Obs.disable ();
+  let phases =
+    Jsonx.Arr
+      (List.map
+         (fun (r : Export.row) ->
+           Jsonx.Obj
+             [
+               ("name", Jsonx.Str r.Export.phase);
+               ("calls", Jsonx.Num (float_of_int r.Export.calls));
+               ("total_s", Jsonx.Num r.Export.total_s);
+               ("self_s", Jsonx.Num r.Export.self_s);
+               ("alloc_words", Jsonx.Num r.Export.alloc_w);
+             ])
+         (Export.profile_rows ()))
+  in
+  let counters =
+    Jsonx.Obj
+      (List.map
+         (fun (name, v) -> (name, Jsonx.Num (float_of_int v)))
+         (Obs.counter_values ()))
+  in
+  let p p_ = Serve_stats.percentile r4.Service.responses ~p:p_ in
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.Str "mcs-bench-serve/1");
+        ("site", Jsonx.Str "grid");
+        ("apps", Jsonx.Num (float_of_int count));
+        ("seed", Jsonx.Num 23.);
+        ("shards", Jsonx.Num 4.);
+        ("window_s", Jsonx.Num 5.);
+        ("phases", phases);
+        ("counters", counters);
+        ( "summary",
+          Jsonx.Obj
+            [
+              ( "submissions_per_s",
+                Jsonx.Num
+                  (float_of_int r4.Service.admitted /. r4.Service.wall_s) );
+              ( "events_per_s",
+                Jsonx.Num (float_of_int r4.Service.events /. r4.Service.wall_s)
+              );
+              ("p50_response_s", Jsonx.Num (p 0.50));
+              ("p99_response_s", Jsonx.Num (p 0.99));
+              ("peak_active", Jsonx.Num (float_of_int r4.Service.peak_active));
+            ] );
+      ]
+  in
+  let oc = open_out serve_baseline_file in
+  output_string oc (Jsonx.encode doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Re-read and validate like the pipeline baseline: the CI serve
+     smoke step relies on the exit code. *)
+  let contents =
+    let ic = open_in serve_baseline_file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match Jsonx.parse contents with
+  | Error m ->
+    Printf.eprintf "%s does not parse: %s\n" serve_baseline_file m;
+    exit 1
+  | Ok doc ->
+    let present =
+      match Jsonx.get_list "phases" doc with
+      | None -> []
+      | Some l -> List.filter_map (Jsonx.get_string "name") l
+    in
+    let required = [ "serve.run"; "serve.pickup"; "serve.step" ] in
+    let missing = List.filter (fun p -> not (List.mem p present)) required in
+    if missing <> [] then begin
+      Printf.eprintf "%s: missing phases: %s\n" serve_baseline_file
+        (String.concat " " missing);
+      exit 1
+    end);
+  if ri.Service.admitted <> count || r4.Service.wall_s <= 0. then begin
+    Printf.eprintf "serve: degenerate baseline run\n";
+    exit 1
+  end;
+  Printf.printf "wrote %s\n\n%!" serve_baseline_file
+
+(* ---------- Pipeline phase baseline (BENCH_pipeline.json) ---------- *)
 
 let pipeline_baseline_file = "BENCH_pipeline.json"
 
@@ -227,6 +392,15 @@ let emit_pipeline_baseline () =
       }
   in
   ignore (Mcs_online.Engine.run ~policy ~faults platform apps);
+  (* A two-shard inline serve run covers the serve.* phases and
+     counters; inline keeps every span on this domain's recorder. *)
+  ignore
+    (Service.run_stream
+       { (serve_config ~shards:2 ~mode:Service.Inline) with
+         Service.admission =
+           { Admission.default with Admission.capacity = 2 };
+       }
+       platform apps);
   Obs.disable ();
   let phases = phase_rows () in
   let counters =
@@ -434,6 +608,7 @@ let artefacts =
     ("x7", fun () -> Mcs_util.Table.print (E.Exp_online.table ()));
     ("x8", fun () -> Mcs_util.Table.print (E.Exp_faults.table ()));
     ("online", run_online);
+    ("serve", run_serve);
     ("micro", run_micro);
   ]
 
@@ -454,6 +629,7 @@ let titles =
     ("x7", "X7 — extension: online dynamic β vs offline approximation");
     ("x8", "X8 — extension: fault injection across the eight β strategies");
     ("online", "Online engine — event throughput and rescheduling cost");
+    ("serve", "Serving engine — sharded multi-tenant throughput");
     ("micro", "Microbenchmarks");
   ]
 

@@ -1,0 +1,293 @@
+(* Workload driver for the sharded serving engine: replay a synthetic
+   Poisson arrival stream against Mcs_serve.Service at a target
+   submission rate (or as fast as the mailboxes admit), then report the
+   sustained throughput (submissions/s, engine events/s) and the
+   virtual-time response-latency percentiles as one JSON summary line —
+   preceded by one JSON line per shard. *)
+
+open Cmdliner
+module Strategy = Mcs_sched.Strategy
+module Workload = Mcs_experiments.Workload
+module Engine = Mcs_online.Engine
+module Policy = Mcs_online.Policy
+module Fault = Mcs_fault.Fault
+module Log = Mcs_online.Log
+module Service = Mcs_serve.Service
+module Shard = Mcs_serve.Shard
+module Admission = Mcs_serve.Admission
+module Router = Mcs_serve.Router
+module Stats = Mcs_serve.Stats
+
+let parse_strategy = function
+  | "S" -> Ok Strategy.Selfish
+  | "ES" -> Ok Strategy.Equal_share
+  | "PS-cp" -> Ok (Strategy.Proportional Strategy.Cp)
+  | "PS-width" -> Ok (Strategy.Proportional Strategy.Width)
+  | "PS-work" -> Ok (Strategy.Proportional Strategy.Work)
+  | "WPS-cp" -> Ok (Strategy.Weighted (Strategy.Cp, Strategy.paper_mu Strategy.Cp))
+  | "WPS-width" ->
+    Ok (Strategy.Weighted (Strategy.Width, Strategy.paper_mu Strategy.Width))
+  | "WPS-work" ->
+    Ok (Strategy.Weighted (Strategy.Work, Strategy.paper_mu Strategy.Work))
+  | s -> Error ("unknown strategy " ^ s)
+
+let parse_family = function
+  | "random" -> Ok Workload.Random_mixed_scenarios
+  | "fft" -> Ok Workload.Fft_ptgs
+  | "strassen" -> Ok Workload.Strassen_ptgs
+  | s -> Error ("unknown family " ^ s)
+
+let die msg =
+  prerr_endline msg;
+  exit 2
+
+let run site shards inline count seed mean_interarrival family strategy
+    dynamic router window capacity reject shed_above rate check faults mttf
+    mttr task_fail_p log_path profile profile_format =
+  Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
+  let platform =
+    match Mcs_platform.Grid5000.by_name site with
+    | Some p -> p
+    | None -> die ("unknown site: " ^ site ^ " (lille|nancy|rennes|sophia|grid)")
+  in
+  let strategy =
+    match parse_strategy strategy with Ok s -> s | Error m -> die m
+  in
+  let family = match parse_family family with Ok f -> f | Error m -> die m in
+  let router =
+    match Router.choice_of_string router with Ok r -> r | Error m -> die m
+  in
+  let policy =
+    if dynamic then Policy.make strategy else Policy.static strategy
+  in
+  let admission =
+    {
+      Admission.capacity;
+      on_full = (if reject then Admission.Reject else Admission.Block);
+      shed_above;
+      batch_window = window;
+    }
+  in
+  let config =
+    {
+      Service.shards;
+      mode = (if inline then Service.Inline else Service.Domains);
+      router;
+      admission;
+      policy;
+      capture_logs = log_path <> None;
+      check;
+      faults =
+        (if faults then
+           Some { Fault.default with Fault.mttf; mttr; task_fail_p }
+         else None);
+      fault_seed = seed;
+    }
+  in
+  let rng = Mcs_prng.Prng.create ~seed in
+  let ptgs = Workload.draw rng family ~count in
+  let clock = ref 0. in
+  let apps =
+    List.mapi
+      (fun i ptg ->
+        if i > 0 then
+          clock :=
+            !clock +. Mcs_prng.Prng.exponential rng ~mean:mean_interarrival;
+        (ptg, !clock))
+      ptgs
+  in
+  let report =
+    match Service.run_stream ~rate config platform apps with
+    | r -> r
+    | exception Invalid_argument m -> die m
+  in
+  let join fmt l = String.concat "," (List.map fmt l) in
+  Array.iter
+    (fun (r : Shard.report) ->
+      Printf.printf
+        "{\"event\":\"shard\",\"shard\":%d,\"clusters\":[%s],\"apps\":%d,\
+         \"events\":%d,\"reschedules\":%d,\"peak_active\":%d,\
+         \"queue_peak\":%d,\"handoffs_in\":%d,\"handoffs_out\":%d,\
+         \"violations\":%d}\n"
+        r.Shard.shard
+        (join string_of_int (Array.to_list r.Shard.clusters))
+        (Array.length r.Shard.global_ids)
+        r.Shard.engine.Engine.stats.Engine.events_processed
+        r.Shard.engine.Engine.stats.Engine.reschedules r.Shard.peak_active
+        r.Shard.queue_peak r.Shard.handoffs_in r.Shard.handoffs_out
+        r.Shard.violations)
+    report.Service.shards;
+  let p p_ = Stats.percentile report.Service.responses ~p:p_ in
+  let makespan =
+    Array.fold_left
+      (fun acc (r : Shard.report) ->
+        Array.fold_left
+          (fun acc c -> if Float.is_finite c then Float.max acc c else acc)
+          acc r.Shard.engine.Engine.completions)
+      0. report.Service.shards
+  in
+  Printf.printf
+    "{\"event\":\"serve_summary\",\"site\":\"%s\",\"shards\":%d,\
+     \"mode\":\"%s\",\"router\":\"%s\",\"strategy\":\"%s\",\
+     \"submitted\":%d,\"admitted\":%d,\"rejected\":%d,\"handoffs\":%d,\
+     \"peak_active\":%d,\"events\":%d,\"reschedules\":%d,\"remapped\":%d,\
+     \"violations\":%d,\"wall_s\":%.6f,\"submissions_per_s\":%.1f,\
+     \"events_per_s\":%.1f,\"p50_response\":%.17g,\"p99_response\":%.17g,\
+     \"virtual_makespan\":%.17g}\n"
+    site shards
+    (if inline then "inline" else "domains")
+    (match router with
+    | Router.Round_robin -> "rr"
+    | Router.Least_work -> "work"
+    | Router.Least_loaded -> "load")
+    (Strategy.name strategy) report.Service.submitted report.Service.admitted
+    report.Service.rejected report.Service.handoffs report.Service.peak_active
+    report.Service.events report.Service.reschedules report.Service.remapped
+    report.Service.violations report.Service.wall_s
+    (float_of_int report.Service.admitted /. report.Service.wall_s)
+    (float_of_int report.Service.events /. report.Service.wall_s)
+    (p 0.50) (p 0.99) makespan;
+  (match log_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    List.iter
+      (fun (shard, ev) ->
+        (* Shard-tag each merged record by wrapping the engine line. *)
+        Printf.fprintf oc "{\"shard\":%d,\"record\":%s}\n" shard
+          (Log.to_json ev))
+      (Service.merged_log report);
+    close_out oc;
+    Printf.eprintf "wrote %s\n" path);
+  if check && report.Service.violations > 0 then begin
+    Printf.eprintf "invariant check: %d errors\n" report.Service.violations;
+    exit 1
+  end
+
+let site =
+  Arg.(value & opt string "grid"
+       & info [ "site" ]
+           ~doc:"lille, nancy, rennes, sophia, or grid (all four federated)")
+
+let shards =
+  Arg.(value & opt int 4 & info [ "shards" ] ~doc:"platform partitions")
+
+let inline =
+  Arg.(value & flag
+       & info [ "inline" ]
+           ~doc:
+             "deterministic single-domain fallback: run every shard on the \
+              calling domain (pickups on mailbox pressure and at close)")
+
+let count =
+  Arg.(value & opt int 1000 & info [ "count" ] ~doc:"submitted applications")
+
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed")
+
+let mean_interarrival =
+  Arg.(value & opt float 1.
+       & info [ "mean-interarrival" ]
+           ~doc:"mean Poisson inter-arrival time, virtual seconds")
+
+let family =
+  Arg.(value & opt string "random"
+       & info [ "family" ] ~doc:"random, fft or strassen")
+
+let strategy =
+  Arg.(value & opt string "WPS-work"
+       & info [ "strategy" ]
+           ~doc:"S, ES, PS-cp, PS-width, PS-work, WPS-cp, WPS-width, WPS-work")
+
+let dynamic =
+  Arg.(value & flag
+       & info [ "dynamic" ]
+           ~doc:
+             "reschedule on departures too (the serving default is \
+              arrival-only: static beta per generation)")
+
+let router =
+  Arg.(value & opt string "work"
+       & info [ "router" ]
+           ~doc:
+             "shard selection: rr (round-robin), work (least cumulative \
+              assigned GFlop, deterministic) or load (least live in-flight \
+              load; adaptive, not replayable)")
+
+let window =
+  Arg.(value & opt float 0.
+       & info [ "window" ]
+           ~doc:
+             "beta-batching window, virtual seconds: arrivals are admitted \
+              at the end of their window so one reschedule absorbs the \
+              whole batch (0 = exact admission)")
+
+let capacity =
+  Arg.(value & opt int 4096
+       & info [ "capacity" ] ~doc:"mailbox slots per shard")
+
+let reject =
+  Arg.(value & flag
+       & info [ "reject" ]
+           ~doc:
+             "refuse submissions when the target mailbox is full instead of \
+              blocking (backpressure is the default)")
+
+let shed_above =
+  Arg.(value & opt (some int) None
+       & info [ "shed-above" ]
+           ~doc:
+             "hand submissions off to the least-loaded peer shard once this \
+              many applications are in service on the routed shard")
+
+let rate =
+  Arg.(value & opt float 0.
+       & info [ "rate" ]
+           ~doc:"pace submissions at this many per wall-clock second (0 = \
+                 as fast as admission allows)")
+
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:
+             "audit every shard generation with the invariant analyzer \
+              (plus the FAULT audit under --faults); exit non-zero on any \
+              violation")
+
+let faults =
+  Arg.(value & flag
+       & info [ "faults" ]
+           ~doc:
+             "inject a seeded per-shard fault process (shard k draws from \
+              seed+k) per --mttf/--mttr/--task-fail-p")
+
+let mttf =
+  Arg.(value & opt float Float.infinity
+       & info [ "mttf" ] ~doc:"mean time to failure, seconds ('inf' = none)")
+
+let mttr =
+  Arg.(value & opt float 60.
+       & info [ "mttr" ] ~doc:"mean time to repair, seconds")
+
+let task_fail_p =
+  Arg.(value & opt float 0.
+       & info [ "task-fail-p" ]
+           ~doc:"per-attempt transient task failure probability in [0,1]")
+
+let log_path =
+  Arg.(value & opt (some string) None
+       & info [ "log" ]
+           ~doc:
+             "capture per-shard event logs and write the deterministic \
+              sort-merge (global app ids, shard-tagged JSONL) to this path")
+
+let cmd =
+  let doc = "drive the sharded scheduler-as-a-service engine" in
+  Cmd.v
+    (Cmd.info "mcs_serve" ~doc)
+    Term.(
+      const run $ site $ shards $ inline $ count $ seed $ mean_interarrival
+      $ family $ strategy $ dynamic $ router $ window $ capacity $ reject
+      $ shed_above $ rate $ check $ faults $ mttf $ mttr $ task_fail_p
+      $ log_path $ Obs_cli.profile $ Obs_cli.profile_format)
+
+let () = exit (Cmd.eval cmd)

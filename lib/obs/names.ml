@@ -17,6 +17,9 @@ let phases =
     ("online.event", "handling of one non-stale online event");
     ("online.reschedule", "one rescheduling generation (beta + remap)");
     ("online.fault", "handling of one fault event (outage/recovery/failure)");
+    ("serve.run", "one full service run (stream submission + drain)");
+    ("serve.pickup", "one shard mailbox drain: shed + inject a batch");
+    ("serve.step", "one shard engine advance up to the watermark");
   ]
 
 let counters =
@@ -40,6 +43,13 @@ let counters =
     ("check.analyses", "invariant analyzer passes");
     ("check.rules", "rules evaluated across analyzer passes");
     ("check.diagnostics", "diagnostics emitted by the analyzer");
+    ("serve.submitted", "submissions offered to the serving engine");
+    ("serve.admitted", "submissions accepted by admission control");
+    ("serve.rejected", "submissions refused (queue full, Reject policy)");
+    ("serve.handoffs", "submissions shed to a peer shard");
+    ("serve.injected", "submissions injected into shard engine sessions");
+    ("serve.queue_peak", "high-water mark of any shard mailbox");
+    ("serve.active_peak", "high-water mark of any shard's active set");
   ]
 
 let phase_names = List.map fst phases

@@ -4,8 +4,12 @@
     module is the single documented list, used by DESIGN.md section 9,
     by the bench harness to validate that [BENCH_pipeline.json] covers
     every phase, and by the test suite. Every name here is guaranteed
-    to appear after one offline {!Mcs_experiments.Runner.evaluate} run
-    plus one {!Mcs_online.Engine.run} with profiling enabled. *)
+    to appear after one offline {!Mcs_experiments.Runner.evaluate} run,
+    one {!Mcs_online.Engine.run}, and one inline-mode serving run
+    ([Mcs_serve.Service.run_stream]), all with profiling enabled (the
+    serving spans live on each shard's domain in [Domains] mode, so
+    only the single-domain fallback surfaces them in a main-domain
+    profile). *)
 
 val phases : (string * string) list
 (** Canonical span names with one-line descriptions, in pipeline

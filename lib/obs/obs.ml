@@ -9,7 +9,7 @@ type span = {
 
 type counter = {
   cname : string;
-  mutable value : int;
+  value : int Atomic.t;
 }
 
 type frame = {
@@ -20,19 +20,22 @@ type frame = {
   mutable child_dur : float;
 }
 
-(* Single recorder per process, owned by the domain that enabled it.
-   Spans and counter updates from other domains are dropped rather than
-   raced: the scheduling pipelines this library instruments are
-   single-domain, and [Mcs_util.Parmap] workers would otherwise corrupt
-   the frame stack. *)
-let on = ref false
+(* Single recorder per process. Counters are plain atomics, so per-shard
+   engine loops running on their own domains ([Mcs_serve]) and
+   [Mcs_util.Parmap] workers all contribute without racing. Spans keep a
+   frame *stack* and therefore stay owned by the domain that enabled the
+   recorder: span probes from any other domain are dropped rather than
+   corrupting the stack (profile a serve run in its single-domain
+   fallback mode to capture a complete span trace). *)
+let on = Atomic.make false
 let owner : Domain.id option ref = ref None
 let epoch = ref 0.
 let stack : frame list ref = ref []
 let completed : span list ref = ref [] (* reverse completion order *)
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let owned () =
   match !owner with Some d -> Domain.self () = d | None -> false
@@ -47,39 +50,51 @@ let words () =
 let reset () =
   stack := [];
   completed := [];
-  Hashtbl.iter (fun _ c -> c.value <- 0) registry;
-  if !on then epoch := now ()
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) registry);
+  if Atomic.get on then epoch := now ()
 
 let enable () =
-  on := true;
+  Atomic.set on true;
   owner := Some (Domain.self ());
   reset ()
 
 let disable () =
-  on := false;
+  Atomic.set on false;
   stack := []
 
+(* Interning is the cold path (module initialisation, mostly on the main
+   domain) but must still be safe when a worker domain interns lazily —
+   the registry is the one shared mutable structure here. *)
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { cname = name; value = 0 } in
-    Hashtbl.add registry name c;
-    c
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = { cname = name; value = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c)
 
-let incr ?(by = 1) c = if !on && owned () then c.value <- c.value + by
+let incr ?(by = 1) c =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.value by)
 
-let record_max c v =
-  if !on && owned () && v > c.value then c.value <- v
+let rec record_max c v =
+  if Atomic.get on then begin
+    let cur = Atomic.get c.value in
+    if v > cur && not (Atomic.compare_and_set c.value cur v) then
+      record_max c v
+  end
 
-let value c = c.value
+let value c = Atomic.get c.value
 
 let counter_values () =
-  Hashtbl.fold (fun _ c acc -> (c.cname, c.value) :: acc) registry []
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.value) :: acc)
+        registry [])
   |> List.sort compare
 
 let enter name =
-  if !on && owned () then
+  if Atomic.get on && owned () then
     stack :=
       {
         fname = name;
@@ -91,7 +106,7 @@ let enter name =
       :: !stack
 
 let leave () =
-  if !on && owned () then
+  if Atomic.get on && owned () then
     match !stack with
     | [] -> ()
     | f :: rest ->
@@ -113,7 +128,7 @@ let leave () =
         :: !completed
 
 let with_span name f =
-  if not (!on && owned ()) then f ()
+  if not (Atomic.get on && owned ()) then f ()
   else begin
     enter name;
     match f () with

@@ -10,11 +10,14 @@
     off: {!incr}, {!record_max}, {!enter} and {!leave} allocate nothing
     and {!with_span} reduces to a direct call of its argument.
 
-    The recorder is owned by the domain that called {!enable}; span and
-    counter updates arriving from other domains (e.g.
-    {!Mcs_util.Parmap} workers) are silently dropped instead of racing
-    the frame stack. Set [MCS_DOMAINS=1] to capture a complete trace of
-    an experiment sweep.
+    Counters are domain-safe: they are plain [Atomic.t] cells, so
+    per-shard serving loops ({!Mcs_serve}) and {!Mcs_util.Parmap}
+    workers running on their own domains all contribute updates without
+    racing. Spans keep a frame {e stack} and remain owned by the domain
+    that called {!enable}; span probes arriving from any other domain
+    are silently dropped instead of corrupting it. Profile a serve run
+    in its single-domain fallback mode (or set [MCS_DOMAINS=1] for a
+    sweep) to capture a complete span trace.
 
     Canonical span and counter names are registered in {!Names};
     exporters (Chrome trace JSON, JSONL, self-time table) live in
@@ -72,12 +75,13 @@ val counter : string -> counter
     even before any event. *)
 
 val incr : ?by:int -> counter -> unit
-(** Add [by] (default 1) to a counter; no-op when the recorder is
-    disabled or owned by another domain. *)
+(** Atomically add [by] (default 1) to a counter from any domain; no-op
+    when the recorder is disabled. *)
 
 val record_max : counter -> int -> unit
 (** Gauge update: raise the counter to [v] if [v] exceeds its current
-    value — used for high-water marks such as the ready-queue peak. *)
+    value (atomic compare-and-swap loop, safe from any domain) — used
+    for high-water marks such as the ready-queue peak. *)
 
 val value : counter -> int
 (** Current value of a counter. *)

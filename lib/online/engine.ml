@@ -37,6 +37,18 @@ type result = {
   stats : stats;
 }
 
+type session = {
+  st : State.t;
+  q : Event_queue.t;
+  policy : Policy.t;
+  platform : P.t;
+  faults : Fault.scenario option;
+  fault_on : bool;
+  emit : Log.event -> unit;
+  check : (Mcs_check.Diagnostic.t list -> unit) option;
+  mutable processed : int;
+}
+
 (* Trigger merging for a batch of simultaneous events: fault events and
    arrivals always force a reschedule; a departure or task finish only
    per policy. The label of the merged batch is its strongest cause. *)
@@ -53,436 +65,480 @@ let merge_trigger cur cand =
   | None -> Some cand
   | Some t -> if trigger_rank cand > trigger_rank t then Some cand else cur
 
-let run ?log ?check ?faults ~policy platform apps =
-  Obs.with_span "online.run" @@ fun () ->
-  (match faults with Some s -> Fault.validate s.Fault.config | None -> ());
-  let fault_on = faults <> None in
-  let state = State.create platform apps in
-  let q = Event_queue.create () in
-  let emit e = match log with Some f -> f e | None -> () in
-  let processed = ref 0 in
-  Array.iter
+(* Under fault injection each attempt's outcome is pre-rolled — the
+   roll is a pure function of (seed, app, node, attempt), so
+   re-announcing the same attempt after an unrelated reschedule rolls
+   the same verdict. *)
+let will_fail s app v =
+  match s.faults with
+  | Some sc
+    when sc.Fault.config.Fault.task_fail_p > 0.
+         && app.State.failures.(v) < s.policy.Policy.faults.Policy.max_retries
+    ->
+    Fault.roll_failure sc ~app:app.State.index ~node:v
+      ~attempt:app.State.failures.(v)
+  | Some _ | None -> false
+
+(* Announce the future of every active application under the current
+   schedule generation: one finish event per still-running or
+   not-yet-started real task, one departure per application. Events of
+   earlier generations become stale and are dropped on pop. *)
+let announce s =
+  let state = s.st in
+  List.iter
     (fun app ->
-      Event_queue.push q ~time:app.State.release ~version:0
-        (Event_queue.Arrival app.State.index))
-    state.State.apps;
-  (match faults with
-  | None -> ()
-  | Some s ->
-    List.iter
-      (fun o ->
-        Event_queue.push q ~time:o.Fault.down_at ~version:0
-          (Event_queue.Proc_down o.Fault.procs);
-        Event_queue.push q ~time:o.Fault.up_at ~version:0
-          (Event_queue.Proc_up o.Fault.procs))
-      s.Fault.outages);
-  (* Announce the future of every active application under the current
-     schedule generation: one finish event per still-running or
-     not-yet-started real task, one departure per application. Events of
-     earlier generations become stale and are dropped on pop. Under
-     fault injection each attempt's outcome is pre-rolled here — the
-     roll is a pure function of (seed, app, node, attempt), so
-     re-announcing the same attempt after an unrelated reschedule rolls
-     the same verdict. *)
-  let will_fail app v =
-    match faults with
-    | Some s
-      when s.Fault.config.Fault.task_fail_p > 0.
-           && app.State.failures.(v) < policy.Policy.faults.Policy.max_retries
-      ->
-      Fault.roll_failure s ~app:app.State.index ~node:v
-        ~attempt:app.State.failures.(v)
-    | Some _ | None -> false
-  in
-  let announce () =
-    List.iter
+      let exit = Ptg.exit app.State.ptg in
+      (* Pre-roll first: a generation in which some attempt is doomed
+         to fail must not announce the departure — the app cannot
+         complete on this schedule, and the failure's mandatory
+         reschedule will announce the real one. Without this, a task
+         failing exactly at the announced exit finish would race its
+         own application's departure in the same batch. *)
+      let fail_flags =
+        Array.mapi
+          (fun v pl ->
+            match pl with
+            | Some pl
+              when (not (Ptg.is_virtual app.State.ptg v))
+                   && pl.Schedule.finish > state.State.now ->
+              will_fail s app v
+            | Some _ | None -> false)
+          app.State.placements
+      in
+      let doomed = Array.exists Fun.id fail_flags in
+      (* A PTG with a unique sink reuses that real task as its exit
+         node: it must still get its own finish/failure event (it does
+         real work, records an execution attempt and can fail
+         transiently) — the departure is announced in addition, and
+         the queue's kind order delivers the finish first. *)
+      Array.iteri
+        (fun v pl ->
+          match pl with
+          | None -> ()
+          | Some pl ->
+            if
+              (not (Ptg.is_virtual app.State.ptg v))
+              && pl.Schedule.finish > state.State.now
+            then begin
+              let kind =
+                if fail_flags.(v) then
+                  Event_queue.Task_failed { app = app.State.index; node = v }
+                else
+                  Event_queue.Task_finish { app = app.State.index; node = v }
+              in
+              Event_queue.push s.q ~time:pl.Schedule.finish
+                ~version:state.State.version kind
+            end;
+            if v = exit && not doomed then
+              Event_queue.push s.q
+                ~time:(Float.max pl.Schedule.finish state.State.now)
+                ~version:state.State.version
+                (Event_queue.Departure app.State.index))
+        app.State.placements)
+    (State.active state)
+
+(* A blackout (no live processor) cannot remap anything: revoke every
+   unstarted placement and bump the generation so their events go
+   stale; the recovery event will trigger the real reschedule. *)
+let blackout s =
+  let state = s.st in
+  List.iter
+    (fun app ->
+      Array.iteri
+        (fun v pl ->
+          match pl with
+          | Some pl when pl.Schedule.start > state.State.now +. Floatx.eps ->
+            app.State.placements.(v) <- None
+          | Some _ | None -> ())
+        app.State.placements)
+    (State.active state);
+  state.State.version <- state.State.version + 1;
+  announce s
+
+let reschedule s ~trigger =
+  Obs.with_span "online.reschedule" @@ fun () ->
+  let state = s.st in
+  match State.active state with
+  | [] -> ()
+  | _ when s.fault_on && not (State.any_up state) -> blackout s
+  | active ->
+    let ptgs = List.map (fun a -> a.State.ptg) active in
+    (* A full mask schedules exactly as the fault-free engine: the
+       degraded reference cluster and per-cluster caps only kick in
+       while some processor is actually down. *)
+    let degraded = s.fault_on && not (State.all_up state) in
+    let ref_cluster =
+      if degraded then
+        Some
+          (Reference_cluster.degrade state.State.ref_cluster
+             ~power:(State.up_power state))
+      else None
+    in
+    let up_counts = if degraded then Some (State.up_counts state) else None in
+    let prepared =
+      Pipeline.prepare ~config:s.policy.Policy.config ?ref_cluster ?up_counts
+        ~strategy:s.policy.Policy.strategy s.platform ptgs
+    in
+    List.iteri
+      (fun j app -> app.State.beta <- prepared.Pipeline.betas.(j))
+      active;
+    let inputs =
+      List.mapi
+        (fun j app ->
+          let procs = prepared.Pipeline.allocations.(j).Allocation.procs in
+          let procs =
+            if s.fault_on && s.policy.Policy.faults.Policy.shrink_on_retry then
+              (* Halve a task's allocation per transient failure:
+                 smaller retries pack earlier on a degraded platform.
+                 Allocations of pinned tasks are ignored by the
+                 mapper, so shrinking them is inert. *)
+              Array.mapi
+                (fun v p ->
+                  let k = app.State.failures.(v) in
+                  if k > 0 then max 1 (p asr min k 30) else p)
+                procs
+            else procs
+          in
+          (app.State.ptg, procs))
+        active
+    in
+    let pinned =
+      Array.of_list (List.map (fun app -> State.pinned_of state app) active)
+    in
+    let release = Array.make (List.length active) state.State.now in
+    let avail = State.proc_avail state in
+    let up = if degraded then Some state.State.proc_up else None in
+    let task_floor =
+      if s.fault_on then
+        Some (Array.of_list (List.map (fun app -> app.State.retry_at) active))
+      else None
+    in
+    let schedules =
+      List_mapper.run ~options:s.policy.Policy.config.Pipeline.mapper ~release
+        ~pinned ~avail ?up ?task_floor s.platform
+        (match ref_cluster with
+        | Some r -> r
+        | None -> state.State.ref_cluster)
+        inputs
+    in
+    let frozen =
+      Array.fold_left
+        (fun acc per_app ->
+          Array.fold_left
+            (fun acc pl -> if pl = None then acc else acc + 1)
+            acc per_app)
+        0 pinned
+    in
+    let total = ref 0 in
+    List.iter2
+      (fun app sched ->
+        total := !total + Array.length sched.Schedule.placements;
+        app.State.placements <-
+          Array.map Option.some sched.Schedule.placements)
+      active schedules;
+    let remapped = !total - frozen in
+    (* Hand the invariant analyzer a snapshot of what this reschedule
+       decided: it re-verifies the pinning, β and mapping rules and
+       reports to the caller's sink. *)
+    (match s.check with
+    | None -> ()
+    | Some f ->
+      let snap_apps =
+        List.mapi
+          (fun j (app, sched) ->
+            {
+              Mcs_check.Online_check.index = app.State.index;
+              ptg = app.State.ptg;
+              release = app.State.release;
+              beta = app.State.beta;
+              alloc = prepared.Pipeline.allocations.(j).Allocation.procs;
+              pinned = pinned.(j);
+              schedule = sched;
+            })
+          (List.combine active schedules)
+      in
+      f
+        (Mcs_check.Online_check.analyze s.platform
+           {
+             Mcs_check.Online_check.now = state.State.now;
+             strategy = s.policy.Policy.strategy;
+             procedure = s.policy.Policy.config.Pipeline.procedure;
+             apps = snap_apps;
+           }));
+    state.State.version <- state.State.version + 1;
+    state.State.reschedules <- state.State.reschedules + 1;
+    state.State.remapped_tasks <- state.State.remapped_tasks + remapped;
+    Obs.incr c_reschedules;
+    Obs.incr ~by:remapped c_remapped;
+    if s.fault_on then State.commit_started state;
+    announce s;
+    s.emit
+      (Log.Reschedule
+         {
+           time = state.State.now;
+           trigger;
+           betas =
+             List.map (fun app -> (app.State.index, app.State.beta)) active;
+           remapped;
+           pinned = frozen;
+         })
+
+let stale s ev =
+  match ev.Event_queue.kind with
+  | Event_queue.Arrival _ | Event_queue.Proc_down _ | Event_queue.Proc_up _ ->
+    false
+  | Event_queue.Task_finish _ | Event_queue.Task_failed _
+  | Event_queue.Departure _ ->
+    ev.Event_queue.version <> s.st.State.version
+
+let placement_of s who i node =
+  match s.st.State.apps.(i).State.placements.(node) with
+  | Some pl -> pl
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine: %s event for unplaced task %d of app %d" who
+         node i)
+
+let handle s ev trigger =
+  let state = s.st in
+  s.processed <- s.processed + 1;
+  Obs.enter "online.event";
+  Obs.incr c_events;
+  (match ev.Event_queue.kind with
+  | Event_queue.Arrival i ->
+    let app = state.State.apps.(i) in
+    app.State.status <- State.Active;
+    state.State.active_apps <- state.State.active_apps + 1;
+    if state.State.active_apps > state.State.peak_active then
+      state.State.peak_active <- state.State.active_apps;
+    s.emit
+      (Log.Arrival
+         {
+           time = ev.Event_queue.time;
+           app = i;
+           name = app.State.ptg.Ptg.name;
+           tasks = Ptg.task_count app.State.ptg;
+         });
+    trigger := merge_trigger !trigger "arrival"
+  | Event_queue.Task_finish { app = i; node } ->
+    let app = state.State.apps.(i) in
+    State.record_execution state app node (placement_of s "finish" i node)
+      ~finish:ev.Event_queue.time ~outcome:Fault_check.Completed;
+    s.emit (Log.Task_finish { time = ev.Event_queue.time; app = i; node });
+    if s.policy.Policy.reschedule_on_task_finish then
+      trigger := merge_trigger !trigger "task_finish"
+  | Event_queue.Task_failed { app = i; node } ->
+    Obs.enter "online.fault";
+    let app = state.State.apps.(i) in
+    let pl = placement_of s "failure" i node in
+    app.State.failures.(node) <- app.State.failures.(node) + 1;
+    state.State.task_failures <- state.State.task_failures + 1;
+    Obs.incr c_retries;
+    State.record_execution state app node pl ~finish:ev.Event_queue.time
+      ~outcome:Fault_check.Failed;
+    (* The attempt occupied its processors to the end: keep the full
+       reservation as history, then free the slot bookkeeping so the
+       retry can be committed afresh. *)
+    if not app.State.committed.(node) then
+      Array.iter
+        (fun p ->
+          Mcs_util.Timeline.reserve state.State.ledger ~proc:p
+            ~start:pl.Schedule.start ~finish:pl.Schedule.finish)
+        pl.Schedule.procs;
+    app.State.committed.(node) <- false;
+    app.State.placements.(node) <- None;
+    (* Descendants scheduled to start at this very instant were about
+       to consume the failed output: revoke them before the pinning
+       boundary (start ≤ now) freezes them into the next generation.
+       Anything strictly later is remapped by the reschedule anyway. *)
+    let reach = Mcs_dag.Dag.reachable_from app.State.ptg.Ptg.dag node in
+    Array.iteri
+      (fun v plv ->
+        match plv with
+        | Some plv
+          when v <> node && reach.(v)
+               && plv.Schedule.start >= ev.Event_queue.time -. Floatx.eps ->
+          app.State.placements.(v) <- None
+        | Some _ | None -> ())
+      app.State.placements;
+    let k = app.State.failures.(node) in
+    app.State.retry_at.(node) <-
+      ev.Event_queue.time
+      +. (s.policy.Policy.faults.Policy.backoff_base
+         *. Float.pow 2. (float_of_int (k - 1)));
+    s.emit
+      (Log.Task_failed
+         { time = ev.Event_queue.time; app = i; node; failures = k });
+    Obs.leave ();
+    trigger := merge_trigger !trigger "task_failed"
+  | Event_queue.Proc_down procs ->
+    Obs.enter "online.fault";
+    state.State.fault_events <- state.State.fault_events + 1;
+    Obs.incr c_fault_events;
+    (* Commit running placements first so the kills below exercise the
+       real release path of the ledger. *)
+    State.commit_started state;
+    Array.iter (fun p -> state.State.proc_up.(p) <- false) procs;
+    s.emit (Log.Proc_down { time = ev.Event_queue.time; procs });
+    Array.iter
       (fun app ->
-        let exit = Ptg.exit app.State.ptg in
-        (* Pre-roll first: a generation in which some attempt is doomed
-           to fail must not announce the departure — the app cannot
-           complete on this schedule, and the failure's mandatory
-           reschedule will announce the real one. Without this, a task
-           failing exactly at the announced exit finish would race its
-           own application's departure in the same batch. *)
-        let fail_flags =
-          Array.mapi
+        if app.State.status = State.Active then
+          Array.iteri
             (fun v pl ->
               match pl with
               | Some pl
                 when (not (Ptg.is_virtual app.State.ptg v))
-                     && pl.Schedule.finish > state.State.now ->
-                will_fail app v
-              | Some _ | None -> false)
-            app.State.placements
-        in
-        let doomed = Array.exists Fun.id fail_flags in
-        (* A PTG with a unique sink reuses that real task as its exit
-           node: it must still get its own finish/failure event (it does
-           real work, records an execution attempt and can fail
-           transiently) — the departure is announced in addition, and
-           the queue's kind order delivers the finish first. *)
-        Array.iteri
-          (fun v pl ->
-            match pl with
-            | None -> ()
-            | Some pl ->
-              if
-                (not (Ptg.is_virtual app.State.ptg v))
-                && pl.Schedule.finish > state.State.now
-              then begin
-                let kind =
-                  if fail_flags.(v) then
-                    Event_queue.Task_failed { app = app.State.index; node = v }
-                  else
-                    Event_queue.Task_finish { app = app.State.index; node = v }
+                     && pl.Schedule.start <= state.State.now +. Floatx.eps
+                     && pl.Schedule.finish > state.State.now +. Floatx.eps
+                     && Array.exists
+                          (fun p -> not state.State.proc_up.(p))
+                          pl.Schedule.procs ->
+                state.State.kills <- state.State.kills + 1;
+                Obs.incr c_kills;
+                State.record_execution state app v pl
+                  ~finish:ev.Event_queue.time ~outcome:Fault_check.Killed;
+                let released =
+                  State.rollback state app v pl ~at:ev.Event_queue.time
                 in
-                Event_queue.push q ~time:pl.Schedule.finish
-                  ~version:state.State.version kind
-              end;
-              if v = exit && not doomed then
-                Event_queue.push q
-                  ~time:(Float.max pl.Schedule.finish state.State.now)
-                  ~version:state.State.version
-                  (Event_queue.Departure app.State.index))
-          app.State.placements)
-      (State.active state)
-  in
-  (* A blackout (no live processor) cannot remap anything: revoke every
-     unstarted placement and bump the generation so their events go
-     stale; the recovery event will trigger the real reschedule. *)
-  let blackout () =
-    List.iter
-      (fun app ->
-        Array.iteri
-          (fun v pl ->
-            match pl with
-            | Some pl when pl.Schedule.start > state.State.now +. Floatx.eps ->
-              app.State.placements.(v) <- None
-            | Some _ | None -> ())
-          app.State.placements)
-      (State.active state);
-    state.State.version <- state.State.version + 1;
-    announce ()
-  in
-  let reschedule ~trigger =
-    Obs.with_span "online.reschedule" @@ fun () ->
-    match State.active state with
-    | [] -> ()
-    | _ when fault_on && not (State.any_up state) -> blackout ()
-    | active ->
-      let ptgs = List.map (fun a -> a.State.ptg) active in
-      (* A full mask schedules exactly as the fault-free engine: the
-         degraded reference cluster and per-cluster caps only kick in
-         while some processor is actually down. *)
-      let degraded = fault_on && not (State.all_up state) in
-      let ref_cluster =
-        if degraded then
-          Some
-            (Reference_cluster.degrade state.State.ref_cluster
-               ~power:(State.up_power state))
-        else None
-      in
-      let up_counts = if degraded then Some (State.up_counts state) else None in
-      let prepared =
-        Pipeline.prepare ~config:policy.Policy.config ?ref_cluster ?up_counts
-          ~strategy:policy.Policy.strategy platform ptgs
-      in
-      List.iteri
-        (fun j app -> app.State.beta <- prepared.Pipeline.betas.(j))
-        active;
-      let inputs =
-        List.mapi
-          (fun j app ->
-            let procs = prepared.Pipeline.allocations.(j).Allocation.procs in
-            let procs =
-              if fault_on && policy.Policy.faults.Policy.shrink_on_retry then
-                (* Halve a task's allocation per transient failure:
-                   smaller retries pack earlier on a degraded platform.
-                   Allocations of pinned tasks are ignored by the
-                   mapper, so shrinking them is inert. *)
-                Array.mapi
-                  (fun v p ->
-                    let k = app.State.failures.(v) in
-                    if k > 0 then max 1 (p asr min k 30) else p)
-                  procs
-              else procs
-            in
-            (app.State.ptg, procs))
-          active
-      in
-      let pinned =
-        Array.of_list (List.map (fun app -> State.pinned_of state app) active)
-      in
-      let release = Array.make (List.length active) state.State.now in
-      let avail = State.proc_avail state in
-      let up = if degraded then Some state.State.proc_up else None in
-      let task_floor =
-        if fault_on then
-          Some
-            (Array.of_list (List.map (fun app -> app.State.retry_at) active))
-        else None
-      in
-      let schedules =
-        List_mapper.run ~options:policy.Policy.config.Pipeline.mapper ~release
-          ~pinned ~avail ?up ?task_floor platform
-          (match ref_cluster with
-          | Some r -> r
-          | None -> state.State.ref_cluster)
-          inputs
-      in
-      let frozen =
-        Array.fold_left
-          (fun acc per_app ->
-            Array.fold_left
-              (fun acc pl -> if pl = None then acc else acc + 1)
-              acc per_app)
-          0 pinned
-      in
-      let total = ref 0 in
-      List.iter2
-        (fun app sched ->
-          total := !total + Array.length sched.Schedule.placements;
-          app.State.placements <-
-            Array.map Option.some sched.Schedule.placements)
-        active schedules;
-      let remapped = !total - frozen in
-      (* Hand the invariant analyzer a snapshot of what this reschedule
-         decided: it re-verifies the pinning, β and mapping rules and
-         reports to the caller's sink. *)
-      (match check with
-      | None -> ()
-      | Some f ->
-        let snap_apps =
-          List.mapi
-            (fun j (app, sched) ->
-              {
-                Mcs_check.Online_check.index = app.State.index;
-                ptg = app.State.ptg;
-                release = app.State.release;
-                beta = app.State.beta;
-                alloc = prepared.Pipeline.allocations.(j).Allocation.procs;
-                pinned = pinned.(j);
-                schedule = sched;
-              })
-            (List.combine active schedules)
-        in
-        f
-          (Mcs_check.Online_check.analyze platform
-             {
-               Mcs_check.Online_check.now = state.State.now;
-               strategy = policy.Policy.strategy;
-               procedure = policy.Policy.config.Pipeline.procedure;
-               apps = snap_apps;
-             }));
-      state.State.version <- state.State.version + 1;
-      state.State.reschedules <- state.State.reschedules + 1;
-      state.State.remapped_tasks <- state.State.remapped_tasks + remapped;
-      Obs.incr c_reschedules;
-      Obs.incr ~by:remapped c_remapped;
-      if fault_on then State.commit_started state;
-      announce ();
-      emit
-        (Log.Reschedule
-           {
-             time = state.State.now;
-             trigger;
-             betas =
-               List.map (fun app -> (app.State.index, app.State.beta)) active;
-             remapped;
-             pinned = frozen;
-           })
-  in
-  let stale ev =
-    match ev.Event_queue.kind with
-    | Event_queue.Arrival _ | Event_queue.Proc_down _ | Event_queue.Proc_up _
-      -> false
-    | Event_queue.Task_finish _ | Event_queue.Task_failed _
-    | Event_queue.Departure _ ->
-      ev.Event_queue.version <> state.State.version
-  in
-  let placement_of who i node =
-    match state.State.apps.(i).State.placements.(node) with
-    | Some pl -> pl
-    | None ->
+                Obs.incr ~by:released c_release;
+                app.State.placements.(v) <- None;
+                s.emit
+                  (Log.Task_killed
+                     {
+                       time = ev.Event_queue.time;
+                       app = app.State.index;
+                       node = v;
+                       elapsed = ev.Event_queue.time -. pl.Schedule.start;
+                     })
+              | Some _ | None -> ())
+            app.State.placements)
+      state.State.apps;
+    Obs.leave ();
+    trigger := merge_trigger !trigger "proc_down"
+  | Event_queue.Proc_up procs ->
+    Obs.enter "online.fault";
+    state.State.fault_events <- state.State.fault_events + 1;
+    Obs.incr c_fault_events;
+    Array.iter (fun p -> state.State.proc_up.(p) <- true) procs;
+    s.emit (Log.Proc_up { time = ev.Event_queue.time; procs });
+    Obs.leave ();
+    trigger := merge_trigger !trigger "proc_up"
+  | Event_queue.Departure i ->
+    let app = state.State.apps.(i) in
+    if Array.exists Option.is_none app.State.placements then
       invalid_arg
-        (Printf.sprintf "Engine: %s event for unplaced task %d of app %d" who
-           node i)
+        (Printf.sprintf "Engine: departure of app %d with unplaced tasks" i);
+    app.State.status <- State.Completed;
+    app.State.completion <- ev.Event_queue.time;
+    state.State.active_apps <- state.State.active_apps - 1;
+    state.State.completed_apps <- state.State.completed_apps + 1;
+    s.emit
+      (Log.Departure
+         {
+           time = ev.Event_queue.time;
+           app = i;
+           response = ev.Event_queue.time -. app.State.release;
+         });
+    if s.policy.Policy.reschedule_on_departure then
+      trigger := merge_trigger !trigger "departure");
+  Obs.leave ()
+
+let create ?log ?check ?faults ~policy platform apps =
+  (match faults with Some sc -> Fault.validate sc.Fault.config | None -> ());
+  let s =
+    {
+      st = State.create platform apps;
+      q = Event_queue.create ();
+      policy;
+      platform;
+      faults;
+      fault_on = faults <> None;
+      emit = (match log with Some f -> f | None -> fun _ -> ());
+      check;
+      processed = 0;
+    }
   in
-  let handle ev trigger =
-    incr processed;
-    Obs.enter "online.event";
-    Obs.incr c_events;
-    (match ev.Event_queue.kind with
-    | Event_queue.Arrival i ->
-      let app = state.State.apps.(i) in
-      app.State.status <- State.Active;
-      emit
-        (Log.Arrival
-           {
-             time = ev.Event_queue.time;
-             app = i;
-             name = app.State.ptg.Ptg.name;
-             tasks = Ptg.task_count app.State.ptg;
-           });
-      trigger := merge_trigger !trigger "arrival"
-    | Event_queue.Task_finish { app = i; node } ->
-      let app = state.State.apps.(i) in
-      State.record_execution state app node (placement_of "finish" i node)
-        ~finish:ev.Event_queue.time ~outcome:Fault_check.Completed;
-      emit (Log.Task_finish { time = ev.Event_queue.time; app = i; node });
-      if policy.Policy.reschedule_on_task_finish then
-        trigger := merge_trigger !trigger "task_finish"
-    | Event_queue.Task_failed { app = i; node } ->
-      Obs.enter "online.fault";
-      let app = state.State.apps.(i) in
-      let pl = placement_of "failure" i node in
-      app.State.failures.(node) <- app.State.failures.(node) + 1;
-      state.State.task_failures <- state.State.task_failures + 1;
-      Obs.incr c_retries;
-      State.record_execution state app node pl ~finish:ev.Event_queue.time
-        ~outcome:Fault_check.Failed;
-      (* The attempt occupied its processors to the end: keep the full
-         reservation as history, then free the slot bookkeeping so the
-         retry can be committed afresh. *)
-      if not app.State.committed.(node) then
-        Array.iter
-          (fun p ->
-            Mcs_util.Timeline.reserve state.State.ledger ~proc:p
-              ~start:pl.Schedule.start ~finish:pl.Schedule.finish)
-          pl.Schedule.procs;
-      app.State.committed.(node) <- false;
-      app.State.placements.(node) <- None;
-      (* Descendants scheduled to start at this very instant were about
-         to consume the failed output: revoke them before the pinning
-         boundary (start ≤ now) freezes them into the next generation.
-         Anything strictly later is remapped by the reschedule anyway. *)
-      let reach = Mcs_dag.Dag.reachable_from app.State.ptg.Ptg.dag node in
-      Array.iteri
-        (fun v plv ->
-          match plv with
-          | Some plv
-            when v <> node && reach.(v)
-                 && plv.Schedule.start >= ev.Event_queue.time -. Floatx.eps ->
-            app.State.placements.(v) <- None
-          | Some _ | None -> ())
-        app.State.placements;
-      let k = app.State.failures.(node) in
-      app.State.retry_at.(node) <-
-        ev.Event_queue.time
-        +. (policy.Policy.faults.Policy.backoff_base
-           *. Float.pow 2. (float_of_int (k - 1)));
-      emit
-        (Log.Task_failed
-           { time = ev.Event_queue.time; app = i; node; failures = k });
-      Obs.leave ();
-      trigger := merge_trigger !trigger "task_failed"
-    | Event_queue.Proc_down procs ->
-      Obs.enter "online.fault";
-      state.State.fault_events <- state.State.fault_events + 1;
-      Obs.incr c_fault_events;
-      (* Commit running placements first so the kills below exercise the
-         real release path of the ledger. *)
-      State.commit_started state;
-      Array.iter (fun p -> state.State.proc_up.(p) <- false) procs;
-      emit (Log.Proc_down { time = ev.Event_queue.time; procs });
-      Array.iter
-        (fun app ->
-          if app.State.status = State.Active then
-            Array.iteri
-              (fun v pl ->
-                match pl with
-                | Some pl
-                  when (not (Ptg.is_virtual app.State.ptg v))
-                       && pl.Schedule.start <= state.State.now +. Floatx.eps
-                       && pl.Schedule.finish > state.State.now +. Floatx.eps
-                       && Array.exists
-                            (fun p -> not state.State.proc_up.(p))
-                            pl.Schedule.procs ->
-                  state.State.kills <- state.State.kills + 1;
-                  Obs.incr c_kills;
-                  State.record_execution state app v pl
-                    ~finish:ev.Event_queue.time ~outcome:Fault_check.Killed;
-                  let released =
-                    State.rollback state app v pl ~at:ev.Event_queue.time
-                  in
-                  Obs.incr ~by:released c_release;
-                  app.State.placements.(v) <- None;
-                  emit
-                    (Log.Task_killed
-                       {
-                         time = ev.Event_queue.time;
-                         app = app.State.index;
-                         node = v;
-                         elapsed = ev.Event_queue.time -. pl.Schedule.start;
-                       })
-                | Some _ | None -> ())
-              app.State.placements)
-        state.State.apps;
-      Obs.leave ();
-      trigger := merge_trigger !trigger "proc_down"
-    | Event_queue.Proc_up procs ->
-      Obs.enter "online.fault";
-      state.State.fault_events <- state.State.fault_events + 1;
-      Obs.incr c_fault_events;
-      Array.iter (fun p -> state.State.proc_up.(p) <- true) procs;
-      emit (Log.Proc_up { time = ev.Event_queue.time; procs });
-      Obs.leave ();
-      trigger := merge_trigger !trigger "proc_up"
-    | Event_queue.Departure i ->
-      let app = state.State.apps.(i) in
-      if Array.exists Option.is_none app.State.placements then
-        invalid_arg
-          (Printf.sprintf "Engine: departure of app %d with unplaced tasks" i);
-      app.State.status <- State.Completed;
-      app.State.completion <- ev.Event_queue.time;
-      emit
-        (Log.Departure
-           {
-             time = ev.Event_queue.time;
-             app = i;
-             response = ev.Event_queue.time -. app.State.release;
-           });
-      if policy.Policy.reschedule_on_departure then
-        trigger := merge_trigger !trigger "departure");
-    Obs.leave ()
-  in
+  Array.iter
+    (fun app ->
+      Event_queue.push s.q ~time:app.State.release ~version:0
+        (Event_queue.Arrival app.State.index))
+    s.st.State.apps;
+  (match faults with
+  | None -> ()
+  | Some sc ->
+    List.iter
+      (fun o ->
+        Event_queue.push s.q ~time:o.Fault.down_at ~version:0
+          (Event_queue.Proc_down o.Fault.procs);
+        Event_queue.push s.q ~time:o.Fault.up_at ~version:0
+          (Event_queue.Proc_up o.Fault.procs))
+      sc.Fault.outages);
+  s
+
+let submit s ptg ~release ~at =
+  if not (Float.is_finite at) || at < release then
+    invalid_arg "Engine.submit: admission before release (or non-finite)";
+  if at < s.st.State.now then
+    invalid_arg "Engine.submit: admission in the processed past";
+  let app = State.add_app s.st ptg ~release in
+  Event_queue.push s.q ~time:at ~version:0 (Event_queue.Arrival app.State.index);
+  app.State.index
+
+let now s = s.st.State.now
+let pending_events s = Event_queue.length s.q
+let active_count s = s.st.State.active_apps
+let peak_active s = s.st.State.peak_active
+let app_count s = Array.length s.st.State.apps
+let in_service s = Array.length s.st.State.apps - s.st.State.completed_apps
+
+let advance ?upto s =
+  Obs.with_span "online.run" @@ fun () ->
+  let state = s.st in
+  let bounded t = match upto with None -> true | Some b -> t < b in
   let rec loop () =
-    match Event_queue.pop q with
+    match Event_queue.peek s.q with
     | None -> ()
-    | Some ev when stale ev -> loop ()
-    | Some ev ->
-      state.State.now <- ev.Event_queue.time;
-      let trigger = ref None in
-      handle ev trigger;
-      (* Drain every simultaneous event before rescheduling once, so β
-         is recomputed over the post-batch set of active applications
-         (the queue orders finishes before failures, departures,
-         arrivals, outages and recoveries at equal times). *)
-      let rec drain_batch () =
-        match Event_queue.peek q with
-        | Some e when e.Event_queue.time <= state.State.now +. Floatx.eps ->
-          let e = Option.get (Event_queue.pop q) in
-          if not (stale e) then handle e trigger;
-          drain_batch ()
-        | Some _ | None -> ()
-      in
-      drain_batch ();
-      (match !trigger with
-      | Some trigger -> reschedule ~trigger
-      | None -> ());
-      loop ()
+    | Some ev when not (bounded ev.Event_queue.time) -> ()
+    | Some _ ->
+      let ev = Option.get (Event_queue.pop s.q) in
+      if stale s ev then loop ()
+      else begin
+        state.State.now <- ev.Event_queue.time;
+        let trigger = ref None in
+        handle s ev trigger;
+        (* Drain every simultaneous event before rescheduling once, so β
+           is recomputed over the post-batch set of active applications
+           (the queue orders finishes before failures, departures,
+           arrivals, outages and recoveries at equal times). *)
+        let rec drain_batch () =
+          match Event_queue.peek s.q with
+          | Some e when e.Event_queue.time <= state.State.now +. Floatx.eps ->
+            let e = Option.get (Event_queue.pop s.q) in
+            if not (stale s e) then handle s e trigger;
+            drain_batch ()
+          | Some _ | None -> ()
+        in
+        drain_batch ();
+        (match !trigger with
+        | Some trigger -> reschedule s ~trigger
+        | None -> ());
+        loop ()
+      end
   in
-  loop ();
+  loop ()
+
+let result s =
+  let state = s.st in
   let executions = List.rev state.State.executions in
   (* Post-mortem fault audit: replay every recorded attempt against the
      outage intervals and retry budget (FAULT001–003). *)
-  (match (faults, check) with
-  | Some s, Some f ->
+  (match (s.faults, s.check) with
+  | Some sc, Some f ->
     let ptgs = Array.map (fun app -> app.State.ptg) state.State.apps in
-    let down = Fault.down_intervals s ~procs:(P.total_procs platform) in
+    let down = Fault.down_intervals sc ~procs:(P.total_procs s.platform) in
     f
-      (Fault_check.check ~max_retries:policy.Policy.faults.Policy.max_retries
-         ~down platform ~ptgs executions)
+      (Fault_check.check ~max_retries:s.policy.Policy.faults.Policy.max_retries
+         ~down s.platform ~ptgs executions)
   | (Some _ | None), _ -> ());
   let apps = state.State.apps in
   {
@@ -494,8 +550,8 @@ let run ?log ?check ?faults ~policy platform apps =
     executions;
     stats =
       {
-        events_processed = !processed;
-        events_pushed = Event_queue.pushed q;
+        events_processed = s.processed;
+        events_pushed = Event_queue.pushed s.q;
         reschedules = state.State.reschedules;
         remapped_tasks = state.State.remapped_tasks;
         kills = state.State.kills;
@@ -503,3 +559,9 @@ let run ?log ?check ?faults ~policy platform apps =
         fault_events = state.State.fault_events;
       };
   }
+
+let run ?log ?check ?faults ~policy platform apps =
+  if apps = [] then invalid_arg "State.create: no applications";
+  let s = create ?log ?check ?faults ~policy platform apps in
+  advance s;
+  result s

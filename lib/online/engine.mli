@@ -80,6 +80,73 @@ type result = {
   stats : stats;
 }
 
+type session
+(** A re-entrant engine instance. {!run} is [create] + [advance] +
+    [result] over a fixed submission list; a {e session} additionally
+    absorbs submissions over time ({!submit}) and can be stepped up to
+    a virtual-time bound ({!advance} with [~upto]) — the building block
+    of the sharded serving layer ({!Mcs_serve.Service}), where each
+    shard owns one session on its own sub-platform and only steps it up
+    to the watermark its router has proven safe. *)
+
+val create :
+  ?log:(Log.event -> unit) ->
+  ?check:(Mcs_check.Diagnostic.t list -> unit) ->
+  ?faults:Mcs_fault.Fault.scenario ->
+  policy:Policy.t ->
+  Mcs_platform.Platform.t ->
+  (Mcs_ptg.Ptg.t * float) list ->
+  session
+(** Fresh session over an initial (possibly empty) submission list:
+    arrival events are queued for every listed application, outage and
+    recovery events for the fault scenario, and nothing is processed
+    yet. @raise Invalid_argument on an ill-formed release time or fault
+    scenario. *)
+
+val submit : session -> Mcs_ptg.Ptg.t -> release:float -> at:float -> int
+(** [submit s ptg ~release ~at] appends one application and queues its
+    arrival at virtual time [at] (≥ [release]; the gap is admission
+    latency, e.g. the serving layer's β-batching window). Returns the
+    application's index in this session. Safe between any two
+    {!advance} calls.
+    @raise Invalid_argument if [at < release] or [at] lies in the
+    already-processed past ([at < now]). *)
+
+val advance : ?upto:float -> session -> unit
+(** Process queued events in virtual-time order: all of them (no
+    [upto]), or exactly those strictly before [upto]. The bound lets a
+    shard stop ahead of submissions it has not yet been shown — calling
+    [advance ~upto:w] is safe when every future {!submit} is guaranteed
+    [at ≥ w]. Idempotent at a fixed bound. *)
+
+val result : session -> result
+(** Snapshot the per-application outcome arrays (submission order) and
+    engine counters; with [faults] and [check] set, first runs the
+    FAULT001–003 post-mortem audit over the execution log. Meaningful
+    once the session is quiescent (every application completed).
+    @raise Invalid_argument if some application was never fully
+    scheduled. *)
+
+val now : session -> float
+(** Virtual time of the last processed event (0 initially). *)
+
+val active_count : session -> int
+(** Applications arrived and not yet completed (O(1)). *)
+
+val peak_active : session -> int
+(** High-water mark of {!active_count} over the session's lifetime —
+    the per-shard concurrency gauge reported by the serving layer. *)
+
+val app_count : session -> int
+(** Applications submitted so far. *)
+
+val in_service : session -> int
+(** Applications submitted and not yet completed (arrived or still
+    queued) — the load measure behind the serving layer's shedding. *)
+
+val pending_events : session -> int
+(** Queued events, stale announcements included. *)
+
 val run :
   ?log:(Log.event -> unit) ->
   ?check:(Mcs_check.Diagnostic.t list -> unit) ->

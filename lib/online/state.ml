@@ -22,11 +22,14 @@ type app = {
 type t = {
   platform : P.t;
   ref_cluster : Mcs_sched.Reference_cluster.t;
-  apps : app array;
+  mutable apps : app array;
   mutable now : float;
   mutable version : int;
   mutable reschedules : int;
   mutable remapped_tasks : int;
+  mutable active_apps : int;
+  mutable completed_apps : int;
+  mutable peak_active : int;
   proc_up : bool array;
   ledger : Timeline.t;
   mutable executions : Mcs_check.Fault_check.execution list;
@@ -35,28 +38,27 @@ type t = {
   mutable fault_events : int;
 }
 
+let make_app index ptg release =
+  if not (Float.is_finite release) || release < 0. then
+    invalid_arg "State.create: ill-formed release time";
+  let n = Ptg.node_count ptg in
+  {
+    index;
+    ptg;
+    release;
+    status = Pending;
+    beta = Float.nan;
+    placements = Array.make n None;
+    completion = Float.nan;
+    failures = Array.make n 0;
+    retry_at = Array.make n 0.;
+    committed = Array.make n false;
+  }
+
 let create platform apps =
-  if apps = [] then invalid_arg "State.create: no applications";
   let apps =
     Array.of_list
-      (List.mapi
-         (fun index (ptg, release) ->
-           if not (Float.is_finite release) || release < 0. then
-             invalid_arg "State.create: ill-formed release time";
-           let n = Ptg.node_count ptg in
-           {
-             index;
-             ptg;
-             release;
-             status = Pending;
-             beta = Float.nan;
-             placements = Array.make n None;
-             completion = Float.nan;
-             failures = Array.make n 0;
-             retry_at = Array.make n 0.;
-             committed = Array.make n false;
-           })
-         apps)
+      (List.mapi (fun index (ptg, release) -> make_app index ptg release) apps)
   in
   {
     platform;
@@ -66,6 +68,9 @@ let create platform apps =
     version = 0;
     reschedules = 0;
     remapped_tasks = 0;
+    active_apps = 0;
+    completed_apps = 0;
+    peak_active = 0;
     proc_up = Array.make (P.total_procs platform) true;
     ledger = Timeline.create ~procs:(P.total_procs platform);
     executions = [];
@@ -73,6 +78,14 @@ let create platform apps =
     task_failures = 0;
     fault_events = 0;
   }
+
+(* Appending is O(apps) per call; submissions reach the engine in
+   batches (the serving layer drains its mailbox before stepping), so
+   the quadratic worst case never materialises in practice. *)
+let add_app t ptg ~release =
+  let app = make_app (Array.length t.apps) ptg release in
+  t.apps <- Array.append t.apps [| app |];
+  app
 
 let active t =
   Array.fold_right

@@ -35,11 +35,14 @@ type app = {
 type t = {
   platform : Mcs_platform.Platform.t;
   ref_cluster : Mcs_sched.Reference_cluster.t;
-  apps : app array;  (** in submission order *)
+  mutable apps : app array;  (** in submission order; grows on {!add_app} *)
   mutable now : float;
   mutable version : int;  (** schedule generation, bumped per reschedule *)
   mutable reschedules : int;
   mutable remapped_tasks : int;  (** placements recomputed, cumulative *)
+  mutable active_apps : int;  (** arrived, not completed — O(1) gauge *)
+  mutable completed_apps : int;
+  mutable peak_active : int;  (** high-water mark of [active_apps] *)
   proc_up : bool array;  (** liveness per global processor id *)
   ledger : Mcs_util.Timeline.t;  (** started placements, fault runs only *)
   mutable executions : Mcs_check.Fault_check.execution list;
@@ -50,10 +53,15 @@ type t = {
 }
 
 val create : Mcs_platform.Platform.t -> (Mcs_ptg.Ptg.t * float) list -> t
-(** One state per engine run; applications keep their list order. All
-    processors start up, all counters at zero.
-    @raise Invalid_argument on an empty list or a negative/non-finite
-    release time. *)
+(** One state per engine run; applications keep their list order (the
+    list may be empty — a serving session starts blank and grows by
+    {!add_app}). All processors start up, all counters at zero.
+    @raise Invalid_argument on a negative/non-finite release time. *)
+
+val add_app : t -> Mcs_ptg.Ptg.t -> release:float -> app
+(** Append one application (index = current count, status [Pending]).
+    Used by the re-entrant session API to absorb streamed submissions.
+    @raise Invalid_argument on a negative/non-finite release time. *)
 
 val active : t -> app list
 (** Applications that have arrived and not yet completed, in submission

@@ -19,6 +19,18 @@ let sophia () =
 
 let all () = [ lille (); nancy (); rennes (); sophia () ]
 
+(* The four sites federated into one 11-cluster, 675-processor platform
+   (one switch per site), the scale target of the sharded serving
+   engine: its cluster set partitions cleanly into 4+ shards. *)
+let grid () =
+  Platform.make ~name:"Grid5000"
+    [
+      c "Chuque" 53 3.647 0; c "Chti" 20 4.311 0; c "Chicon" 26 4.384 0;
+      c "Grillon" 47 3.379 1; c "Grelon" 120 3.185 1;
+      c "Parasol" 64 3.573 2; c "Paravent" 99 3.364 2; c "Paraquad" 66 4.603 2;
+      c "Azur" 74 3.258 3; c "Helios" 56 3.675 3; c "Sol" 50 4.389 3;
+    ]
+
 let by_name s =
   let s = String.lowercase_ascii s in
   match s with
@@ -26,4 +38,5 @@ let by_name s =
   | "nancy" -> Some (nancy ())
   | "rennes" -> Some (rennes ())
   | "sophia" -> Some (sophia ())
+  | "grid" -> Some (grid ())
   | _ -> None

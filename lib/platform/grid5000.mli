@@ -24,5 +24,11 @@ val sophia : unit -> Platform.t
 val all : unit -> Platform.t list
 (** The four sites in the paper's order: Lille, Nancy, Rennes, Sophia. *)
 
+val grid : unit -> Platform.t
+(** The four sites federated into one platform: 11 clusters, 675
+    processors, one switch per site. Not a paper subset — the scale
+    target of the sharded serving engine ({!Mcs_serve}), whose cluster
+    set partitions into four or more shards. *)
+
 val by_name : string -> Platform.t option
-(** Case-insensitive lookup among the four sites. *)
+(** Case-insensitive lookup among the four sites plus ["grid"]. *)

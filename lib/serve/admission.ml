@@ -1,0 +1,25 @@
+type on_full = Block | Reject
+
+type t = {
+  capacity : int;
+  on_full : on_full;
+  shed_above : int option;
+  batch_window : float;
+}
+
+let default =
+  { capacity = 1024; on_full = Block; shed_above = None; batch_window = 0. }
+
+let validate t =
+  if t.capacity < 1 then invalid_arg "Admission.validate: capacity < 1";
+  (match t.shed_above with
+  | Some n when n < 1 -> invalid_arg "Admission.validate: shed_above < 1"
+  | Some _ | None -> ());
+  if (not (Float.is_finite t.batch_window)) || t.batch_window < 0. then
+    invalid_arg "Admission.validate: ill-formed batch_window"
+
+let quantize t release =
+  if t.batch_window <= 0. then release
+  else
+    (* ceil can land a hair below release under rounding; clamp. *)
+    Float.max release (Float.ceil (release /. t.batch_window) *. t.batch_window)

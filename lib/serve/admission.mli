@@ -1,0 +1,44 @@
+(** Admission policy of the serving engine.
+
+    Three independent knobs, all enforced at the edge rather than inside
+    the engine:
+
+    - {b capacity / on-full}: each shard mailbox holds at most
+      [capacity] undrained submissions. At capacity, [Block] exerts
+      backpressure on the submitting caller, [Reject] refuses the
+      submission with an explicit outcome — a submission is {e never}
+      dropped silently (admitted + rejected = submitted, checked by the
+      test-suite).
+    - {b shedding}: with [shed_above = Some n], a shard whose in-service
+      population (queued + active) reaches [n] at pickup time forwards
+      the overflow to its least-loaded peer as a {e hand-off} message.
+      A handed-off submission is accepted unconditionally by the
+      receiver — one hop at most, so overload cannot ping-pong.
+    - {b β-batching}: arrivals are quantised to the end of their
+      [batch_window]-second window of virtual time, so one reschedule
+      (one β recomputation over the active set) absorbs every
+      submission of the window instead of paying one reschedule per
+      submission. [0.] disables quantisation — every admission is
+      exact, and a one-shard service reproduces {!Mcs_online.Engine.run}
+      bit for bit. The release time is kept raw: the response time
+      reported for an application {e includes} its admission latency. *)
+
+type on_full = Block | Reject
+
+type t = {
+  capacity : int;  (** mailbox slots per shard, ≥ 1 *)
+  on_full : on_full;
+  shed_above : int option;  (** in-service threshold triggering hand-off *)
+  batch_window : float;  (** β-batching quantum, virtual seconds; 0 = exact *)
+}
+
+val default : t
+(** [capacity = 1024], [Block], no shedding, exact admission. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on [capacity < 1], [shed_above < 1], or a
+    negative/non-finite [batch_window]. *)
+
+val quantize : t -> float -> float
+(** Admission instant of a release time: the end of its batch window
+    (identity when [batch_window = 0.]; never below the release). *)

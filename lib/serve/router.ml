@@ -1,0 +1,45 @@
+type choice = Round_robin | Least_work | Least_loaded
+
+let choice_of_string = function
+  | "rr" -> Ok Round_robin
+  | "work" -> Ok Least_work
+  | "load" -> Ok Least_loaded
+  | s -> Error (Printf.sprintf "unknown router %S (expected rr|work|load)" s)
+
+type t = {
+  choice : choice;
+  shards : int;
+  load : int -> float;
+  mutable rr : int;
+  assigned : float array;
+}
+
+let create ?(load = fun _ -> 0.) choice ~shards =
+  if shards < 1 then invalid_arg "Router.create: shards < 1";
+  { choice; shards; load; rr = 0; assigned = Array.make shards 0. }
+
+let argmin f n =
+  let best = ref 0 and bestv = ref (f 0) in
+  for k = 1 to n - 1 do
+    let v = f k in
+    if v < !bestv then begin
+      best := k;
+      bestv := v
+    end
+  done;
+  !best
+
+let route t ~work =
+  let k =
+    match t.choice with
+    | Round_robin ->
+      let k = t.rr in
+      t.rr <- (t.rr + 1) mod t.shards;
+      k
+    | Least_work -> argmin (fun k -> t.assigned.(k)) t.shards
+    | Least_loaded -> argmin t.load t.shards
+  in
+  t.assigned.(k) <- t.assigned.(k) +. work;
+  k
+
+let assigned t = Array.copy t.assigned

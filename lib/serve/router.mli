@@ -1,0 +1,36 @@
+(** Submission router: which shard serves which application.
+
+    The router is the single entry point of the service, so it runs on
+    the submitting caller's domain and keeps plain mutable state — no
+    locks. Two of its three policies are deterministic functions of the
+    submission stream alone:
+
+    - [Round_robin] — shard [k], [k+1], … modulo the shard count.
+    - [Least_work] — the shard with the least cumulative assigned work
+      (Σ GFlop of everything routed to it so far; ties to the lowest
+      shard index). The default: balances heavy-tailed streams without
+      depending on execution timing.
+    - [Least_loaded] — the shard with the smallest {e live} in-flight
+      load gauge (GFlop submitted minus GFlop departed, published by
+      each shard). Adapts to actual progress, but reads cross-domain
+      state: placements under it depend on domain interleaving, so a
+      [Least_loaded] run is not replayable. Documented, opt-in. *)
+
+type choice = Round_robin | Least_work | Least_loaded
+
+val choice_of_string : string -> (choice, string) result
+(** ["rr"], ["work"] or ["load"]. *)
+
+type t
+
+val create : ?load:(int -> float) -> choice -> shards:int -> t
+(** [load] is the live per-shard gauge consulted by [Least_loaded]
+    (defaults to constantly 0, degrading it to lowest-index).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val route : t -> work:float -> int
+(** Pick the shard for one submission of [work] GFlop and account the
+    work to it. *)
+
+val assigned : t -> float array
+(** Cumulative routed work per shard (a copy). *)

@@ -1,0 +1,219 @@
+module Ptg = Mcs_ptg.Ptg
+module Engine = Mcs_online.Engine
+module Policy = Mcs_online.Policy
+module Fault = Mcs_fault.Fault
+module Obs = Mcs_obs.Obs
+
+let c_submitted = Obs.counter "serve.submitted"
+let c_admitted = Obs.counter "serve.admitted"
+let c_rejected = Obs.counter "serve.rejected"
+
+type mode = Inline | Domains
+
+type config = {
+  shards : int;
+  mode : mode;
+  router : Router.choice;
+  admission : Admission.t;
+  policy : Policy.t;
+  capture_logs : bool;
+  check : bool;
+  faults : Fault.config option;
+  fault_seed : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    mode = Domains;
+    router = Router.Least_work;
+    admission = Admission.default;
+    policy = Policy.static (Mcs_sched.Strategy.Weighted (Mcs_sched.Strategy.Work, 0.7));
+    capture_logs = false;
+    check = false;
+    faults = None;
+    fault_seed = 0;
+  }
+
+type outcome = Admitted of int | Rejected
+
+type report = {
+  shards : Shard.report array;
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  handoffs : int;
+  peak_active : int;
+  responses : float array;
+  events : int;
+  reschedules : int;
+  remapped : int;
+  violations : int;
+  wall_s : float;
+}
+
+type t = {
+  config : config;
+  shards : Shard.t array;
+  router : Router.t;
+  domains : unit Domain.t array;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable last_release : float;
+  mutable closed : bool;
+  started_at : float;
+}
+
+let create config platform =
+  Admission.validate config.admission;
+  (match config.faults with Some fc -> Fault.validate fc | None -> ());
+  let parts = Shard.partition platform ~shards:config.shards in
+  let shards =
+    Array.mapi
+      (fun k (sub, clusters) ->
+        let faults =
+          Option.map
+            (fun fc -> Fault.generate ~seed:(config.fault_seed + k) sub fc)
+            config.faults
+        in
+        Shard.make ~index:k ~platform:sub ~clusters
+          ~admission:config.admission ~policy:config.policy
+          ~capture_log:config.capture_logs ~check:config.check ~faults)
+      parts
+  in
+  Array.iter (fun sh -> Shard.set_peers sh shards) shards;
+  let router =
+    Router.create
+      ~load:(fun k -> Shard.load shards.(k))
+      config.router ~shards:config.shards
+  in
+  let domains =
+    match config.mode with
+    | Inline -> [||]
+    | Domains ->
+      Array.map (fun sh -> Domain.spawn (fun () -> Shard.serve_loop sh)) shards
+  in
+  {
+    config;
+    shards;
+    router;
+    domains;
+    submitted = 0;
+    rejected = 0;
+    last_release = 0.;
+    closed = false;
+    started_at = Unix.gettimeofday ();
+  }
+
+let submit t ptg ~release =
+  if t.closed then invalid_arg "Service.submit: closed";
+  if (not (Float.is_finite release)) || release < t.last_release then
+    invalid_arg "Service.submit: releases must be nondecreasing";
+  t.last_release <- release;
+  let global = t.submitted in
+  t.submitted <- t.submitted + 1;
+  Obs.incr c_submitted;
+  let k = Router.route t.router ~work:(Ptg.work ptg) in
+  let sh = t.shards.(k) in
+  let msg = { Shard.global; ptg; release; handoff = false } in
+  let block = t.config.admission.Admission.on_full = Admission.Block in
+  let pushed =
+    match t.config.mode with
+    | Domains -> Squeue.push (Shard.queue sh) ~block msg
+    | Inline -> (
+      match Squeue.push (Shard.queue sh) ~block:false msg with
+      | Squeue.Accepted -> Squeue.Accepted
+      | Squeue.Full when block ->
+        (* Backpressure without a consumer domain: make the progress
+           ourselves, then the push must succeed. *)
+        Shard.pickup sh;
+        Squeue.push (Shard.queue sh) ~block:false msg
+      | (Squeue.Full | Squeue.Closed) as r -> r)
+  in
+  (* The watermark may advance on every submission — even a rejected
+     one proves all future releases are ≥ [release]. *)
+  Array.iter
+    (fun sh -> Squeue.advance_watermark (Shard.queue sh) release)
+    t.shards;
+  match pushed with
+  | Squeue.Accepted ->
+    Obs.incr c_admitted;
+    Admitted k
+  | Squeue.Full ->
+    t.rejected <- t.rejected + 1;
+    Obs.incr c_rejected;
+    Rejected
+  | Squeue.Closed -> invalid_arg "Service.submit: closed"
+
+let build_report t =
+  let reports = Array.map Shard.report t.shards in
+  let responses = Array.make t.submitted Float.nan in
+  Array.iter
+    (fun r ->
+      Array.iteri
+        (fun local global ->
+          responses.(global) <- r.Shard.engine.Engine.responses.(local))
+        r.Shard.global_ids)
+    reports;
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reports in
+  {
+    shards = reports;
+    submitted = t.submitted;
+    admitted = t.submitted - t.rejected;
+    rejected = t.rejected;
+    handoffs = sum (fun r -> r.Shard.handoffs_out);
+    peak_active = sum (fun r -> r.Shard.peak_active);
+    responses;
+    events = sum (fun r -> r.Shard.engine.Engine.stats.Engine.events_processed);
+    reschedules = sum (fun r -> r.Shard.engine.Engine.stats.Engine.reschedules);
+    remapped = sum (fun r -> r.Shard.engine.Engine.stats.Engine.remapped_tasks);
+    violations = sum (fun r -> r.Shard.violations);
+    wall_s = Unix.gettimeofday () -. t.started_at;
+  }
+
+let close t =
+  if t.closed then invalid_arg "Service.close: already closed";
+  t.closed <- true;
+  (match t.config.mode with
+  | Domains ->
+    Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards;
+    Array.iter Domain.join t.domains
+  | Inline -> Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards);
+  (* Sweep to fixpoint: inline-mode leftovers, plus hand-offs that
+     landed after their target's domain exited. Shedding off, so every
+     pass strictly shrinks the undrained population. *)
+  let rec sweep () =
+    let moved = ref false in
+    Array.iter
+      (fun sh ->
+        let b = Squeue.drain (Shard.queue sh) in
+        if b.Squeue.msgs <> [] then begin
+          moved := true;
+          Shard.inject sh ~allow_shed:false b.Squeue.msgs
+        end)
+      t.shards;
+    Array.iter Shard.finish t.shards;
+    if !moved then sweep ()
+  in
+  sweep ();
+  build_report t
+
+let run_stream ?(rate = 0.) config platform apps =
+  Obs.with_span "serve.run" @@ fun () ->
+  let t = create config platform in
+  List.iter
+    (fun (ptg, release) ->
+      if rate > 0. then Unix.sleepf (1. /. rate);
+      ignore (submit t ptg ~release))
+    apps;
+  close t
+
+let merged_log (report : report) =
+  Stats.merge
+    (Array.to_list
+       (Array.map
+          (fun r ->
+            let global local = r.Shard.global_ids.(local) in
+            ( r.Shard.shard,
+              List.map (Stats.relabel global) r.Shard.log ))
+          report.shards))

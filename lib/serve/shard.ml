@@ -1,0 +1,273 @@
+module P = Mcs_platform.Platform
+module Ptg = Mcs_ptg.Ptg
+module Engine = Mcs_online.Engine
+module Log = Mcs_online.Log
+module Obs = Mcs_obs.Obs
+
+let c_handoffs = Obs.counter "serve.handoffs"
+let c_injected = Obs.counter "serve.injected"
+let c_queue_peak = Obs.counter "serve.queue_peak"
+let c_active_peak = Obs.counter "serve.active_peak"
+
+type msg = { global : int; ptg : Ptg.t; release : float; handoff : bool }
+
+type t = {
+  index : int;
+  clusters : int array;
+  queue : msg Squeue.t;
+  admission : Admission.t;
+  session : Engine.session;
+  mutable peers : t array;
+  load_gauge : float Atomic.t;
+  works : float array ref;  (** per local app; read by the log callback *)
+  mutable globals : int array;
+  log_rev : Log.event list ref;
+  violations : int ref;
+  diags_rev : Mcs_check.Diagnostic.t list ref;
+  mutable last_wm : float;
+  mutable injected : int;
+  mutable handoffs_in : int;
+  mutable handoffs_out : int;
+}
+
+(* Greedy balanced partition: heaviest cluster onto the lightest shard.
+   Deterministic (ties by index), so every run shards identically. *)
+let partition platform ~shards =
+  let n = P.cluster_count platform in
+  if shards < 1 then invalid_arg "Shard.partition: shards < 1";
+  if shards > n then
+    invalid_arg
+      (Printf.sprintf "Shard.partition: %d shards for %d clusters" shards n);
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match Float.compare (P.cluster_power platform b) (P.cluster_power platform a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let bins = Array.make shards [] in
+  let binpow = Array.make shards 0. in
+  Array.iter
+    (fun ci ->
+      let k = ref 0 in
+      for j = 1 to shards - 1 do
+        if binpow.(j) < binpow.(!k) then k := j
+      done;
+      bins.(!k) <- ci :: bins.(!k);
+      binpow.(!k) <- binpow.(!k) +. P.cluster_power platform ci)
+    order;
+  Array.mapi
+    (fun k members ->
+      let clusters = Array.of_list (List.sort compare members) in
+      (* Renumber switches compactly in first-appearance order: the
+         same-switch relation is preserved, and on the stock platforms
+         (switch ids nondecreasing in cluster order) this is the
+         identity, which the 1-shard equivalence test relies on. *)
+      let renum = Hashtbl.create 8 in
+      let sub_clusters =
+        Array.to_list
+          (Array.map
+             (fun ci ->
+               let c = P.cluster platform ci in
+               let sw =
+                 match Hashtbl.find_opt renum c.P.switch with
+                 | Some s -> s
+                 | None ->
+                   let s = Hashtbl.length renum in
+                   Hashtbl.add renum c.P.switch s;
+                   s
+               in
+               { c with P.switch = sw })
+             clusters)
+      in
+      let sub =
+        P.make
+          ~name:(Printf.sprintf "%s/%d" (P.name platform) k)
+          ~nic_bandwidth:(P.nic_bandwidth platform)
+          ~link_bandwidth:(P.link_bandwidth platform)
+          ~backbone_bandwidth:(P.backbone_bandwidth platform)
+          ~latency:(P.latency platform) sub_clusters
+      in
+      (sub, clusters))
+    bins
+
+let make ~index ~platform ~clusters ~admission ~policy ~capture_log ~check
+    ~faults =
+  let load_gauge = Atomic.make 0. in
+  let works = ref [||] in
+  let log_rev = ref [] in
+  let log ev =
+    (match ev with
+    | Log.Departure { app; _ } ->
+      (* Single writer (the owning domain); the atomic publishes the
+         gauge to router/peers, it does not arbitrate writes. *)
+      Atomic.set load_gauge
+        (Float.max 0. (Atomic.get load_gauge -. !works.(app)))
+    | _ -> ());
+    if capture_log then log_rev := ev :: !log_rev
+  in
+  let violations = ref 0 in
+  let diags_rev = ref [] in
+  let check_sink =
+    if not check then None
+    else
+      Some
+        (fun diags ->
+          match Mcs_check.Diagnostic.errors diags with
+          | [] -> ()
+          | errs ->
+            violations := !violations + List.length errs;
+            List.iter
+              (fun d ->
+                if List.length !diags_rev < 16 then
+                  diags_rev := d :: !diags_rev)
+              errs)
+  in
+  let session =
+    Engine.create ~log ?check:check_sink ?faults ~policy platform []
+  in
+  {
+    index;
+    clusters;
+    queue = Squeue.create ~capacity:admission.Admission.capacity;
+    admission;
+    session;
+    peers = [||];
+    load_gauge;
+    works;
+    globals = [||];
+    log_rev;
+    violations;
+    diags_rev;
+    last_wm = 0.;
+    injected = 0;
+    handoffs_in = 0;
+    handoffs_out = 0;
+  }
+
+let set_peers t peers = t.peers <- peers
+let queue t = t.queue
+let index t = t.index
+let load t = Atomic.get t.load_gauge
+
+let least_loaded_peer t =
+  let best = ref (-1) and bestv = ref infinity in
+  Array.iteri
+    (fun k p ->
+      if k <> t.index then begin
+        let v = Atomic.get p.load_gauge in
+        if v < !bestv then begin
+          best := k;
+          bestv := v
+        end
+      end)
+    t.peers;
+  !best
+
+let inject_one t m =
+  if m.handoff then t.handoffs_in <- t.handoffs_in + 1;
+  let at =
+    Float.max (Admission.quantize t.admission m.release)
+      (Engine.now t.session)
+  in
+  ignore (Engine.submit t.session m.ptg ~release:m.release ~at : int);
+  t.injected <- t.injected + 1;
+  Obs.incr c_injected;
+  (m.global, Ptg.work m.ptg)
+
+let inject t ~allow_shed msgs =
+  match msgs with
+  | [] -> ()
+  | msgs ->
+    Obs.with_span "serve.pickup" @@ fun () ->
+    let kept = ref [] in
+    List.iter
+      (fun m ->
+        let shed =
+          allow_shed && (not m.handoff)
+          && (match t.admission.Admission.shed_above with
+             | Some lim -> Engine.in_service t.session >= lim
+             | None -> false)
+          && Array.length t.peers > 1
+        in
+        if shed then begin
+          let k = least_loaded_peer t in
+          Squeue.push_unbounded t.peers.(k).queue { m with handoff = true };
+          t.handoffs_out <- t.handoffs_out + 1;
+          Obs.incr c_handoffs
+        end
+        else kept := inject_one t m :: !kept)
+      msgs;
+    let kept = List.rev !kept in
+    let added_globals = Array.of_list (List.map fst kept) in
+    let added_works = Array.of_list (List.map snd kept) in
+    (* Batch-append the local→global map and the work table before the
+       next advance: the departure callback indexes [works]. *)
+    t.globals <- Array.append t.globals added_globals;
+    t.works := Array.append !(t.works) added_works;
+    Atomic.set t.load_gauge
+      (Atomic.get t.load_gauge +. Array.fold_left ( +. ) 0. added_works)
+
+let sample t =
+  Obs.record_max c_queue_peak (Squeue.peak t.queue);
+  Obs.record_max c_active_peak (Engine.peak_active t.session)
+
+let step t ~upto =
+  Obs.with_span "serve.step" @@ fun () -> Engine.advance ~upto t.session
+
+let finish t =
+  (Obs.with_span "serve.step" @@ fun () -> Engine.advance t.session);
+  sample t
+
+let pickup t =
+  let b = Squeue.drain t.queue in
+  inject t ~allow_shed:(not b.Squeue.closed) b.Squeue.msgs;
+  if b.Squeue.closed then finish t
+  else begin
+    t.last_wm <- b.Squeue.watermark;
+    step t ~upto:b.Squeue.watermark;
+    sample t
+  end
+
+let rec serve_loop t =
+  let b = Squeue.wait_batch t.queue ~seen:t.last_wm in
+  inject t ~allow_shed:(not b.Squeue.closed) b.Squeue.msgs;
+  if b.Squeue.closed then finish t
+  else begin
+    t.last_wm <- b.Squeue.watermark;
+    step t ~upto:b.Squeue.watermark;
+    sample t;
+    serve_loop t
+  end
+
+type report = {
+  shard : int;
+  clusters : int array;
+  engine : Engine.result;
+  global_ids : int array;
+  injected : int;
+  handoffs_in : int;
+  handoffs_out : int;
+  queue_peak : int;
+  peak_active : int;
+  violations : int;
+  diagnostics : Mcs_check.Diagnostic.t list;
+  log : Log.event list;
+}
+
+let report t =
+  sample t;
+  {
+    shard = t.index;
+    clusters = t.clusters;
+    engine = Engine.result t.session;
+    global_ids = t.globals;
+    injected = t.injected;
+    handoffs_in = t.handoffs_in;
+    handoffs_out = t.handoffs_out;
+    queue_peak = Squeue.peak t.queue;
+    peak_active = Engine.peak_active t.session;
+    violations = !(t.violations);
+    diagnostics = List.rev !(t.diags_rev);
+    log = List.rev !(t.log_rev);
+  }

@@ -1,0 +1,110 @@
+(** One shard: a sub-platform, a mailbox and an engine session.
+
+    A shard {e owns} its slice of the platform and its
+    {!Mcs_online.Engine.session} exclusively — no other domain ever
+    touches either. All communication is message passing through the
+    shard's {!Squeue}: the router pushes submissions, peers push
+    hand-offs, and the shard alone drains, injects and steps. β is
+    recomputed per shard over that shard's active set only, which is
+    exactly the paper's resource-constraint computation applied to the
+    shard's sub-platform.
+
+    The serving loop alternates two moves:
+
+    + {b pickup} — drain the mailbox, shed overflow to the least-loaded
+      peer if the admission policy says so, and inject the rest into
+      the session ({!Mcs_online.Engine.submit} at the β-batching
+      quantised instant);
+    + {b step} — advance the session strictly below the watermark read
+      at pickup. Submissions arrive in release order and quantisation
+      never moves an arrival below its release, so every event below
+      the watermark is final.
+
+    A handed-off application is admitted at
+    [max (quantised release) (receiver's now)] — the receiver may have
+    advanced past the release; the extra wait is admission latency and
+    shows up in the response time, never as time travel. *)
+
+type msg = {
+  global : int;  (** submission index across the whole service *)
+  ptg : Mcs_ptg.Ptg.t;
+  release : float;
+  handoff : bool;  (** already shed once — must be admitted here *)
+}
+
+type t
+
+val partition :
+  Mcs_platform.Platform.t ->
+  shards:int ->
+  (Mcs_platform.Platform.t * int array) array
+(** Split a platform into [shards] disjoint sub-platforms, balancing
+    aggregate GFlop/s greedily (heaviest cluster first onto the
+    lightest shard). Each sub-platform keeps its clusters in global
+    index order (returned alongside) with switch ids renumbered
+    compactly in order of first appearance — the identity on every
+    stock platform, so a 1-shard partition reproduces the input
+    cluster-for-cluster. Bandwidth and latency parameters are
+    inherited.
+    @raise Invalid_argument if [shards < 1] or exceeds the cluster
+    count. *)
+
+val make :
+  index:int ->
+  platform:Mcs_platform.Platform.t ->
+  clusters:int array ->
+  admission:Admission.t ->
+  policy:Mcs_online.Policy.t ->
+  capture_log:bool ->
+  check:bool ->
+  faults:Mcs_fault.Fault.scenario option ->
+  t
+(** A fresh shard over its sub-platform, mailbox capacity and fault
+    scenario per the arguments. Peers must be installed with
+    {!set_peers} before any pickup can shed. *)
+
+val set_peers : t -> t array -> unit
+(** Install the full shard array (self included) — hand-off targets. *)
+
+val queue : t -> msg Squeue.t
+val index : t -> int
+val load : t -> float
+(** Live in-flight gauge: GFlop injected minus GFlop departed.
+    Readable from any domain. *)
+
+val pickup : t -> unit
+(** One non-blocking pickup + step: drain, shed, inject, advance to the
+    drained watermark (fully, if the queue is closed). The inline
+    fallback mode's unit of progress. *)
+
+val serve_loop : t -> unit
+(** Blocking serving loop: pickup on every mailbox signal until the
+    queue closes, then drain what remains and advance to quiescence.
+    The body of the shard's domain. *)
+
+val finish : t -> unit
+(** Advance the session to quiescence (close-time sweep step). *)
+
+val inject : t -> allow_shed:bool -> msg list -> unit
+(** Shed (if allowed) and inject one drained batch — exposed for the
+    service's close-time sweep, which must inject with shedding off to
+    reach fixpoint. *)
+
+type report = {
+  shard : int;
+  clusters : int array;  (** global cluster indices of the sub-platform *)
+  engine : Mcs_online.Engine.result;
+  global_ids : int array;  (** local app index → global submission id *)
+  injected : int;
+  handoffs_in : int;
+  handoffs_out : int;
+  queue_peak : int;
+  peak_active : int;
+  violations : int;  (** checker errors across all generations + audit *)
+  diagnostics : Mcs_check.Diagnostic.t list;  (** first few, for reports *)
+  log : Mcs_online.Log.event list;
+      (** chronological, local app indices; empty unless [capture_log] *)
+}
+
+val report : t -> report
+(** Snapshot after quiescence ({!Mcs_online.Engine.result} semantics). *)

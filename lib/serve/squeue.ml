@@ -1,0 +1,89 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonfull : Condition.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable watermark : float;
+  mutable peak : int;
+  mutable pushed : int;
+}
+
+type push_outcome = Accepted | Full | Closed
+type 'a batch = { msgs : 'a list; watermark : float; closed : bool }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Squeue.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    nonfull = Condition.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+    watermark = 0.;
+    peak = 0;
+    pushed = 0;
+  }
+
+let enqueue t x =
+  Queue.add x t.items;
+  t.pushed <- t.pushed + 1;
+  let len = Queue.length t.items in
+  if len > t.peak then t.peak <- len;
+  Condition.signal t.nonempty
+
+let push t ~block x =
+  Mutex.protect t.lock @@ fun () ->
+  if t.closed then Closed
+  else if Queue.length t.items < t.capacity then begin
+    enqueue t x;
+    Accepted
+  end
+  else if not block then Full
+  else begin
+    while Queue.length t.items >= t.capacity && not t.closed do
+      Condition.wait t.nonfull t.lock
+    done;
+    if t.closed then Closed
+    else begin
+      enqueue t x;
+      Accepted
+    end
+  end
+
+let push_unbounded t x = Mutex.protect t.lock @@ fun () -> enqueue t x
+
+let take_all t =
+  (* Materialise before clearing: [Queue.to_seq] is lazy. *)
+  let msgs = List.of_seq (Queue.to_seq t.items) in
+  Queue.clear t.items;
+  if msgs <> [] then Condition.broadcast t.nonfull;
+  { msgs; watermark = t.watermark; closed = t.closed }
+
+let wait_batch t ~seen =
+  Mutex.protect t.lock @@ fun () ->
+  while Queue.is_empty t.items && (not t.closed) && t.watermark <= seen do
+    Condition.wait t.nonempty t.lock
+  done;
+  take_all t
+
+let drain t = Mutex.protect t.lock @@ fun () -> take_all t
+
+let advance_watermark t w =
+  Mutex.protect t.lock @@ fun () ->
+  if w > t.watermark then begin
+    t.watermark <- w;
+    Condition.signal t.nonempty
+  end
+
+let close t =
+  Mutex.protect t.lock @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull
+
+let length t = Mutex.protect t.lock @@ fun () -> Queue.length t.items
+let peak t = Mutex.protect t.lock @@ fun () -> t.peak
+let pushed t = Mutex.protect t.lock @@ fun () -> t.pushed

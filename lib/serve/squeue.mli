@@ -1,0 +1,72 @@
+(** Bounded multi-producer mailbox of one shard.
+
+    The only synchronisation point between a shard's domain and the rest
+    of the service: the router pushes submissions, peers push hand-offs,
+    the shard drains in batches. Every queue is {e per-shard} — there is
+    no global run queue, so shards never contend on a shared lock, and
+    backpressure is exerted where the congestion actually is.
+
+    The queue also carries the service's {e watermark}: the largest
+    release time already submitted to {e any} shard. Submissions arrive
+    in release order, so a shard holding a batch drained at watermark
+    [w] knows every future message has release ≥ [w] and may process
+    its engine strictly below [w] without ever reordering the past.
+
+    Blocking is intentional and bounded: {!push} with [~block:true]
+    waits for space (producer backpressure), {!wait_batch} waits for
+    something to do (messages, a watermark advance, or close). Hand-offs
+    use {!push_unbounded}, which never blocks and never refuses — two
+    full shards handing work to each other must not deadlock, and a
+    message accepted into any queue is guaranteed to be drained (the
+    service sweeps every queue to fixpoint at close). *)
+
+type 'a t
+
+type push_outcome =
+  | Accepted
+  | Full  (** rejected: capacity reached under the [Reject] policy *)
+  | Closed  (** rejected: {!close} already called *)
+
+type 'a batch = {
+  msgs : 'a list;  (** drained messages, push order *)
+  watermark : float;  (** largest release submitted service-wide *)
+  closed : bool;  (** no further {!push} can succeed *)
+}
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> block:bool -> 'a -> push_outcome
+(** Append one message. At capacity: with [~block:true], wait until a
+    drain frees space (or the queue closes); with [~block:false],
+    return [Full] without side effect. Never returns [Full] when
+    [block]. *)
+
+val push_unbounded : 'a t -> 'a -> unit
+(** Append one message regardless of capacity or closing — the hand-off
+    path (see above). Counts towards {!stats} peaks. *)
+
+val wait_batch : 'a t -> seen:float -> 'a batch
+(** Drain everything queued, blocking first until there is progress to
+    make: a non-empty queue, a watermark strictly above [seen], or
+    close. Signals waiting producers after freeing space. *)
+
+val drain : 'a t -> 'a batch
+(** Non-blocking {!wait_batch}: drain whatever is there (possibly
+    nothing) and report the current watermark and closed flag — the
+    inline fallback mode and the close-time sweep. *)
+
+val advance_watermark : 'a t -> float -> unit
+(** Raise the watermark (monotone: lower values are ignored) and wake
+    the consumer so it can step its engine up to the new bound. *)
+
+val close : 'a t -> unit
+(** Refuse further {!push}es and wake everyone. Already-queued messages
+    remain drainable. Idempotent. *)
+
+val length : 'a t -> int
+val peak : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)
+
+val pushed : 'a t -> int
+(** Messages ever accepted ({!push} and {!push_unbounded}). *)

@@ -1,0 +1,40 @@
+module Log = Mcs_online.Log
+
+let percentile values ~p =
+  let finite =
+    Array.of_seq (Seq.filter Float.is_finite (Array.to_seq values))
+  in
+  let n = Array.length finite in
+  if n = 0 then Float.nan
+  else begin
+    Array.sort Float.compare finite;
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    finite.(max 0 (min (n - 1) rank))
+  end
+
+let relabel f = function
+  | Log.Arrival r -> Log.Arrival { r with app = f r.app }
+  | Log.Reschedule r ->
+    Log.Reschedule
+      { r with betas = List.map (fun (i, b) -> (f i, b)) r.betas }
+  | Log.Task_finish r -> Log.Task_finish { r with app = f r.app }
+  | Log.Departure r -> Log.Departure { r with app = f r.app }
+  | Log.Proc_down _ as ev -> ev
+  | Log.Proc_up _ as ev -> ev
+  | Log.Task_failed r -> Log.Task_failed { r with app = f r.app }
+  | Log.Task_killed r -> Log.Task_killed { r with app = f r.app }
+
+let merge logs =
+  let tagged =
+    List.concat_map (fun (shard, evs) -> List.map (fun e -> (shard, e)) evs)
+      logs
+  in
+  (* Stable sort on (time, shard): per-shard chronological order (the
+     input order) survives ties, so the merge is a pure function of the
+     shard logs themselves. *)
+  List.stable_sort
+    (fun (s1, e1) (s2, e2) ->
+      match Float.compare (Log.time e1) (Log.time e2) with
+      | 0 -> compare s1 s2
+      | c -> c)
+    tagged

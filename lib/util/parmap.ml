@@ -1,15 +1,25 @@
-let domain_count () =
-  let requested =
-    match Sys.getenv_opt "MCS_DOMAINS" with
+(* MCS_DOMAINS is validated once and the verdict cached for the whole
+   process: the variable cannot change under a running process, and
+   re-parsing (plus re-warning) on every sweep call would be noise. *)
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "MCS_DOMAINS=%d is not >= 1" n)
+  | None -> Error (Printf.sprintf "MCS_DOMAINS=%S is not an integer" s)
+
+let cached_count =
+  lazy
+    (match Sys.getenv_opt "MCS_DOMAINS" with
+    | None -> min 8 (Domain.recommended_domain_count ())
     | Some s -> (
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Some n
-      | Some _ | None -> None)
-    | None -> None
-  in
-  match requested with
-  | Some n -> n
-  | None -> min 8 (Domain.recommended_domain_count ())
+      match parse_domains s with
+      | Ok n -> n
+      | Error msg ->
+        Printf.eprintf
+          "Parmap: %s; using the recommended domain count instead\n%!" msg;
+        min 8 (Domain.recommended_domain_count ())))
+
+let domain_count () = Lazy.force cached_count
 
 let map ?domains f l =
   let n = match domains with Some n -> max 1 n | None -> domain_count () in
@@ -31,8 +41,10 @@ let map ?domains f l =
           (match f items.(i) with
           | value -> results.(i) <- Some value
           | exception e ->
-            (* Keep the first failure; losing later ones is fine. *)
-            ignore (Atomic.compare_and_set failure None (Some e)));
+            (* Keep the first failure, with the backtrace captured on
+               the worker that raised; losing later ones is fine. *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
           loop ()
         end
       in
@@ -44,7 +56,7 @@ let map ?domains f l =
     worker ();
     List.iter Domain.join spawned;
     match Atomic.get failure with
-    | Some e -> raise e
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
       Array.to_list
         (Array.map

@@ -172,12 +172,34 @@ let test_names_registry () =
   Alcotest.(check (option string)) "unknown name" None
     (Names.describe "no.such.phase")
 
+(* Counters are shared across domains (Atomic): concurrent increments
+   must not lose updates and record_max must converge to the true
+   maximum whatever the interleaving. *)
+let test_counter_cross_domain () =
+  Obs.enable ();
+  let c = Obs.counter "test.parallel" in
+  let m = Obs.counter "test.parallel_max" in
+  let domains =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to 10_000 do
+              Obs.incr c;
+              Obs.record_max m ((k * 10_000) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Obs.disable ();
+  Alcotest.(check int) "no lost increments" 40_000 (Obs.value c);
+  Alcotest.(check int) "record_max converges" 40_000 (Obs.value m)
+
 let suite =
   [
     ( "obs",
       [
         Alcotest.test_case "span nesting and ordering" `Quick
           test_span_nesting;
+        Alcotest.test_case "counters domain-safe" `Quick
+          test_counter_cross_domain;
         Alcotest.test_case "span survives exceptions" `Quick
           test_span_exception_safe;
         Alcotest.test_case "counter monotonicity" `Quick
