@@ -1,0 +1,90 @@
+(* ATOM rules: Atomic misuse. The racy shape is a read-modify-write
+   spelled as [Atomic.get a] ... [Atomic.set a (f ...)] within one
+   function: another domain's update can land in the window and be
+   overwritten. Detection is per top-level binding and per atomic
+   path key ([c.value], [on], ...): if the same key is both read and
+   plainly written in one scope, and no [compare_and_set] /
+   [fetch_and_add] / [exchange] / [incr] / [decr] on that key shows
+   the author knows the primitive exists, it is flagged. Waive a
+   deliberate pair with [@atomic_ok] on the [Atomic.set] (or
+   [@@atomic_ok] on the binding) and say why in a comment. *)
+
+open Parsetree
+
+type entry = {
+  mutable got : bool;
+  mutable set_at : Location.t option;
+  mutable rmw : bool;
+}
+
+let rmw_calls =
+  [
+    [ "Atomic"; "compare_and_set" ];
+    [ "Atomic"; "fetch_and_add" ];
+    [ "Atomic"; "exchange" ];
+    [ "Atomic"; "incr" ];
+    [ "Atomic"; "decr" ];
+  ]
+
+let analyze (u : Source.t) =
+  let findings = ref [] in
+  let scan_binding ~waived body =
+    let table : (string, entry) Hashtbl.t = Hashtbl.create 8 in
+    let entry key =
+      match Hashtbl.find_opt table key with
+      | Some e -> e
+      | None ->
+        let e = { got = false; set_at = None; rmw = false } in
+        Hashtbl.add table key e;
+        e
+    in
+    let expr_case (it : Ast_iterator.iterator) e =
+      (match Walk.is_call ~target:[ "Atomic"; "get" ] e with
+      | Some (a :: _) -> (entry (Walk.path_key a)).got <- true
+      | _ -> (
+        match Walk.is_call ~target:[ "Atomic"; "set" ] e with
+        | Some (a :: _) ->
+          let en = entry (Walk.path_key a) in
+          if Walk.atomic_ok_attr e.pexp_attributes then en.rmw <- true
+          else if en.set_at = None then en.set_at <- Some e.pexp_loc
+        | _ ->
+          List.iter
+            (fun target ->
+              match Walk.is_call ~target e with
+              | Some (a :: _) -> (entry (Walk.path_key a)).rmw <- true
+              | _ -> ())
+            rmw_calls));
+      Ast_iterator.default_iterator.expr it e
+    in
+    let iter = { Ast_iterator.default_iterator with expr = expr_case } in
+    iter.expr iter body;
+    Hashtbl.fold (fun key e acc -> (key, e) :: acc) table []
+    |> List.sort compare
+    |> List.iter (fun (key, e) ->
+           match e with
+           | { got = true; set_at = Some loc; rmw = false; _ } ->
+             if key <> "?" then
+               findings :=
+                 Finding.v ~waived Rule.Atom_get_set_rmw
+                   ~unit_file:u.Source.path loc
+                   "Atomic.get + Atomic.set of '%s' in one function is a \
+                    lossy read-modify-write; use fetch_and_add, \
+                    compare_and_set or exchange"
+                   key
+                 :: !findings
+           | _ -> ())
+  in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            scan_binding
+              ~waived:(Walk.atomic_ok_attr vb.pvb_attributes)
+              vb.pvb_expr)
+          vbs
+      | Pstr_eval (e, _) -> scan_binding ~waived:false e
+      | _ -> ())
+    u.Source.structure;
+  !findings

@@ -1,0 +1,10 @@
+(** ATOM rules: Atomic misuse.
+
+    ATOM001 flags an [Atomic.get] + [Atomic.set] of the same atomic
+    path within one top-level binding — a lossy read-modify-write —
+    unless a [compare_and_set] / [fetch_and_add] / [exchange] /
+    [incr] / [decr] on that path shows the update is already raceproof,
+    or an [[@atomic_ok]] waiver (on the set, or [[@@atomic_ok]] on the
+    binding) accepts the pair. *)
+
+val analyze : Source.t -> Finding.t list

@@ -1,0 +1,241 @@
+(* ESCAPE rules: domain-escape analysis. A closure handed to
+   [Domain.spawn] or [Parmap.map] runs concurrently with its creator,
+   so every write it performs to *captured* mutable state (bound
+   outside the closure) is a data race unless an [Atomic] carries it,
+   a [Mutex] guards it, or a [@domain_local] waiver vouches for
+   single-writer confinement. Reads are deliberately not flagged:
+   the read side of a race is invisible syntactically and flagging it
+   would drown the real signal (the parmap scatter/gather idiom reads
+   immutable-after-spawn arrays everywhere). *)
+
+open Parsetree
+module SS = Walk.StringSet
+
+(* Mutating operations and, for each, the positions of the container
+   arguments they mutate. [:=]/[incr]/[decr] and [Pexp_setfield] are
+   ESCAPE001 (a single word lost); the rest are ESCAPE002 (multi-word
+   container internals corrupted). *)
+(* Bare-identifier ops only: [Atomic.incr] and a module's own [incr]
+   re-export are raceproof or the module's business, not ours. *)
+let ref_writes = [ (":=", [ 0 ]); ("incr", [ 0 ]); ("decr", [ 0 ]) ]
+
+let container_writes =
+  [
+    ([ "Array"; "set" ], [ 0 ]);
+    ([ "Array"; "unsafe_set" ], [ 0 ]);
+    ([ "Array"; "fill" ], [ 0 ]);
+    ([ "Array"; "blit" ], [ 2 ]);
+    ([ "Bytes"; "set" ], [ 0 ]);
+    ([ "Bytes"; "unsafe_set" ], [ 0 ]);
+    ([ "Bytes"; "blit" ], [ 2 ]);
+    ([ "Bytes"; "fill" ], [ 0 ]);
+    ([ "Hashtbl"; "add" ], [ 0 ]);
+    ([ "Hashtbl"; "replace" ], [ 0 ]);
+    ([ "Hashtbl"; "remove" ], [ 0 ]);
+    ([ "Hashtbl"; "reset" ], [ 0 ]);
+    ([ "Hashtbl"; "clear" ], [ 0 ]);
+    ([ "Buffer"; "add_string" ], [ 0 ]);
+    ([ "Buffer"; "add_char" ], [ 0 ]);
+    ([ "Buffer"; "add_bytes" ], [ 0 ]);
+    ([ "Buffer"; "add_substring" ], [ 0 ]);
+    ([ "Buffer"; "add_buffer" ], [ 0 ]);
+    ([ "Buffer"; "clear" ], [ 0 ]);
+    ([ "Buffer"; "reset" ], [ 0 ]);
+    ([ "Queue"; "add" ], [ 1 ]);
+    ([ "Queue"; "push" ], [ 1 ]);
+    ([ "Queue"; "pop" ], [ 0 ]);
+    ([ "Queue"; "take" ], [ 0 ]);
+    ([ "Queue"; "clear" ], [ 0 ]);
+    ([ "Queue"; "transfer" ], [ 0; 1 ]);
+    ([ "Stack"; "push" ], [ 1 ]);
+    ([ "Stack"; "pop" ], [ 0 ]);
+  ]
+
+(* The base binding an lvalue reaches: [results.(i)] -> results,
+   [t.works] -> t, [!cell] -> cell. Qualified idents ([Mod.table])
+   are module state — never locally bound, always captured. *)
+let rec root e =
+  match (Walk.unparen e).pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (String.concat "." (Walk.lid_names txt))
+  | Pexp_field (b, _) -> root b
+  | Pexp_apply _ -> (
+    match Walk.is_call ~target:[ "Array"; "get" ] e with
+    | Some (b :: _) -> root b
+    | _ -> (
+      match Walk.is_call ~target:[ "!" ] e with
+      | Some (b :: _) -> root b
+      | _ -> None))
+  | _ -> None
+
+type env = { bound : SS.t; guarded : bool; waived : bool }
+
+let analyze (u : Source.t) =
+  let findings = ref [] in
+  let emit env rule loc op name =
+    findings :=
+      Finding.v ~waived:env.waived rule ~unit_file:u.Source.path loc
+        "%s mutates '%s', captured by a cross-domain closure, without \
+         an Atomic/Mutex guard or [@domain_local] waiver"
+        op name
+      :: !findings
+  in
+  (* Walk one spawned closure body. *)
+  let scan_closure closure =
+    let rec go env e =
+      let env =
+        if Walk.domain_local_attr e.pexp_attributes then
+          { env with waived = true }
+        else env
+      in
+      let sub =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e' -> go env e');
+        }
+      in
+      let default () = Ast_iterator.default_iterator.expr sub e in
+      let check rule loc op target =
+        match root target with
+        | Some name when (not (SS.mem name env.bound)) && not env.guarded ->
+          emit env rule loc op name
+        | _ -> ()
+      in
+      match Walk.is_call ~target:[ "Mutex"; "protect" ] e with
+      | Some args ->
+        List.iter (go { env with guarded = true }) args
+      | _ -> (
+        match Walk.is_call ~target:[ "Mutex"; "lock" ] e with
+        | Some _ ->
+          (* Coarse: an explicit lock anywhere in the closure vouches
+             for it; the LOCK pass owns lock-scope precision. *)
+          ()
+        | _ -> (
+          let table_hit =
+            match
+              List.find_map
+                (fun (name, idxs) ->
+                  match Walk.is_bare_call ~name e with
+                  | Some args ->
+                    Some (Rule.Escape_captured_write, [ name ], idxs, args)
+                  | None -> None)
+                ref_writes
+            with
+            | Some _ as hit -> hit
+            | None ->
+              List.find_map
+                (fun (target, idxs) ->
+                  match Walk.is_call ~target e with
+                  | Some args ->
+                    Some
+                      (Rule.Escape_captured_container, target, idxs, args)
+                  | None -> None)
+                container_writes
+          in
+          match table_hit with
+          | Some (rule, target, idxs, args) ->
+            List.iter
+              (fun i ->
+                match List.nth_opt args i with
+                | Some a ->
+                  check rule e.pexp_loc (String.concat "." target) a
+                | None -> ())
+              idxs;
+            List.iter (go env) args
+          | None -> (
+            match e.pexp_desc with
+            | Pexp_setfield (b, { txt; _ }, v) ->
+              check Rule.Escape_captured_write e.pexp_loc
+                ("<- " ^ Walk.last_of_lid txt)
+                b;
+              go env b;
+              go env v
+            | Pexp_fun (_, default_arg, pat, body) ->
+              Option.iter (go env) default_arg;
+              go { env with bound = Walk.bind_pattern env.bound pat } body
+            | Pexp_function cases | Pexp_match (_, cases)
+            | Pexp_try (_, cases) ->
+              (match e.pexp_desc with
+              | Pexp_match (scrut, _) | Pexp_try (scrut, _) ->
+                go env scrut
+              | _ -> ());
+              List.iter
+                (fun c ->
+                  let env' =
+                    { env with bound = Walk.bind_pattern env.bound c.pc_lhs }
+                  in
+                  Option.iter (go env') c.pc_guard;
+                  go env' c.pc_rhs)
+                cases
+            | Pexp_let (rf, vbs, body) ->
+              let bound' =
+                List.fold_left
+                  (fun s vb -> Walk.bind_pattern s vb.pvb_pat)
+                  env.bound vbs
+              in
+              let inner =
+                if rf = Asttypes.Recursive then { env with bound = bound' }
+                else env
+              in
+              List.iter (fun vb -> go inner vb.pvb_expr) vbs;
+              go { env with bound = bound' } body
+            | Pexp_for (pat, lo, hi, _, body) ->
+              go env lo;
+              go env hi;
+              go { env with bound = Walk.bind_pattern env.bound pat } body
+            | _ -> default ())))
+    in
+    go { bound = SS.empty; guarded = false; waived = false } closure
+  in
+  (* Outer pass: find the spawn sites, resolving a bare identifier
+     argument ([Domain.spawn worker]) to its local definition. *)
+  let locals = ref [] in
+  let resolve e =
+    match (Walk.unparen e).pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> List.assoc_opt n !locals
+    | _ -> None
+  in
+  let spawn_target e =
+    match Walk.is_call ~target:[ "Domain"; "spawn" ] e with
+    | Some (f :: _) -> Some f
+    | _ -> (
+      match Walk.is_call ~target:[ "Parmap"; "map" ] e with
+      | Some (f :: _) -> Some f
+      | _ -> None)
+  in
+  let outer (it : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, _) ->
+      List.iter
+        (fun vb ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } -> locals := (txt, vb.pvb_expr) :: !locals
+          | _ -> ())
+        vbs
+    | _ -> ());
+    (match spawn_target e with
+    | Some f -> (
+      let waive_all = Walk.domain_local_attr e.pexp_attributes in
+      let body = match resolve f with Some b -> b | None -> f in
+      match (Walk.unparen body).pexp_desc with
+      | Pexp_fun _ | Pexp_function _ ->
+        if not waive_all then scan_closure body
+      | _ -> ())
+    | None -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iter = { Ast_iterator.default_iterator with expr = outer } in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            (match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> locals := (txt, vb.pvb_expr) :: !locals
+            | _ -> ());
+            iter.expr iter vb.pvb_expr)
+          vbs
+      | Pstr_eval (e, _) -> iter.expr iter e
+      | _ -> ())
+    u.Source.structure;
+  !findings

@@ -1,0 +1,11 @@
+(** ESCAPE rules: domain-escape analysis.
+
+    Flags writes performed by a [Domain.spawn] / [Parmap.map] closure
+    to mutable state it captured (refs and record fields — ESCAPE001;
+    arrays, Hashtbl, Buffer, Queue, Bytes, Stack — ESCAPE002) unless
+    a [Mutex.protect] encloses the write or a [[@domain_local]]
+    waiver vouches for single-domain confinement. A bare-identifier
+    spawn target ([Domain.spawn worker]) is resolved to its local
+    definition. Reads are not flagged (see the module comment). *)
+
+val analyze : Source.t -> Finding.t list

@@ -1,0 +1,53 @@
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  waived : bool;
+}
+
+let file_of_loc ~default (loc : Location.t) =
+  match loc.Location.loc_start.Lexing.pos_fname with
+  | "" | "_none_" -> default
+  | f -> f
+
+let v ?(waived = false) rule ~unit_file (loc : Location.t) fmt =
+  let s = loc.Location.loc_start in
+  Printf.ksprintf
+    (fun message ->
+      {
+        rule;
+        file = file_of_loc ~default:unit_file loc;
+        line = s.Lexing.pos_lnum;
+        col = s.Lexing.pos_cnum - s.Lexing.pos_bol;
+        message;
+        waived;
+      })
+    fmt
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: %s%s %s: %s" t.file t.line t.col
+    (if t.waived then "waived " else "")
+    (Rule.code t.rule) (Rule.id t.rule) t.message
+
+(* Total deterministic order: file, line, column, rule code, message —
+   so lint output (and therefore CI diffs) never depends on traversal
+   or hash order. *)
+let compare a b =
+  Stdlib.compare
+    (a.file, a.line, a.col, Rule.code a.rule, a.message, a.waived)
+    (b.file, b.line, b.col, Rule.code b.rule, b.message, b.waived)
+
+let sort findings = List.sort_uniq compare findings
+let active findings = List.filter (fun f -> not f.waived) findings
+let waived findings = List.filter (fun f -> f.waived) findings
+
+let summary findings =
+  let a = List.length (active findings)
+  and w = List.length (waived findings) in
+  match (a, w) with
+  | 0, 0 -> "clean"
+  | a, 0 -> Printf.sprintf "%d finding%s" a (if a = 1 then "" else "s")
+  | a, w ->
+    Printf.sprintf "%d finding%s, %d waived" a (if a = 1 then "" else "s") w

@@ -1,0 +1,37 @@
+(** A single analyzer diagnostic, anchored to a source position.
+
+    Findings are value types with a {e total} deterministic order
+    (file, line, column, rule code, message): lint output is stable
+    across runs, traversal orders and hash seeds, so CI can diff it. *)
+
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as compilers print *)
+  message : string;
+  waived : bool;  (** suppressed by an in-source waiver attribute *)
+}
+
+val v :
+  ?waived:bool ->
+  Rule.t ->
+  unit_file:string ->
+  Location.t ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** Build a finding at a parsetree location; [unit_file] is the fallback
+    when the location carries no filename (string-parsed sources). *)
+
+val to_string : t -> string
+(** [file:line:col: CODE id: message] ([waived CODE] when waived). *)
+
+val compare : t -> t -> int
+val sort : t list -> t list
+(** Sorted and deduplicated under {!compare}. *)
+
+val active : t list -> t list
+(** Non-waived findings — the ones that gate CI. *)
+
+val waived : t list -> t list
+val summary : t list -> string

@@ -1,0 +1,248 @@
+(* LOCK rules: lockset analysis over [@guarded_by] annotations, the
+   acquisition-order graph, and Condition.wait discipline.
+
+   The lockset is syntactic: entering [Mutex.protect l f] (directly,
+   via [@@] or via [|>]) adds [l]'s lock class — the last segment of
+   the lock path, so [t.lock] and [q.lock] are the same class — for
+   the extent of [f]; [Mutex.lock]/[Mutex.unlock] add/remove for the
+   rest of the enclosing function. Known imprecision, documented in
+   DESIGN.md §13: lock identity is per-class not per-object, and a
+   closure built under a lock is assumed to run under it (the
+   iteration-callback idiom). *)
+
+open Parsetree
+
+type guards = {
+  fields : (string, string) Hashtbl.t;  (* record field -> lock class *)
+  idents : (string, string) Hashtbl.t;  (* top binding -> lock class *)
+  seeds : (string, string) Hashtbl.t;  (* binding -> [@@locked_by] *)
+}
+
+type edge = {
+  e_from : string;  (* qualified lock class, "Module.lock" *)
+  e_to : string;
+  e_loc : Location.t;
+  e_file : string;
+}
+
+let label_guard (ld : label_declaration) =
+  match Walk.guarded_by_attr ld.pld_attributes with
+  | Some m -> Some m
+  | None -> Walk.guarded_by_attr ld.pld_type.ptyp_attributes
+
+let collect_guards (u : Source.t) =
+  let g =
+    {
+      fields = Hashtbl.create 8;
+      idents = Hashtbl.create 8;
+      seeds = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+        List.iter
+          (fun d ->
+            match d.ptype_kind with
+            | Ptype_record labels ->
+              List.iter
+                (fun ld ->
+                  match label_guard ld with
+                  | Some m ->
+                    Hashtbl.replace g.fields ld.pld_name.Asttypes.txt m
+                  | None -> ())
+                labels
+            | _ -> ())
+          decls
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } ->
+              (match Walk.guarded_by_attr vb.pvb_attributes with
+              | Some m -> Hashtbl.replace g.idents txt m
+              | None -> ());
+              (match Walk.locked_by_attr vb.pvb_attributes with
+              | Some m -> Hashtbl.replace g.seeds txt m
+              | None -> ())
+            | _ -> ())
+          vbs
+      | _ -> ())
+    u.Source.structure;
+  g
+
+let analyze (u : Source.t) =
+  let g = collect_guards u in
+  let findings = ref [] and edges = ref [] in
+  let held = ref [] and in_while = ref false and suppress = ref 0 in
+  let qualify name = u.Source.modname ^ "." ^ name in
+  let emit rule loc fmt =
+    Printf.ksprintf
+      (fun message ->
+        findings :=
+          Finding.v ~waived:(!suppress > 0) rule ~unit_file:u.Source.path loc
+            "%s" message
+          :: !findings)
+      fmt
+  in
+  let acquire name loc =
+    List.iter
+      (fun h ->
+        edges :=
+          {
+            e_from = qualify h;
+            e_to = qualify name;
+            e_loc = loc;
+            e_file = u.Source.path;
+          }
+          :: !edges)
+      !held;
+    held := name :: !held
+  in
+  let release name =
+    let rec drop = function
+      | [] -> []
+      | h :: t -> if h = name then t else h :: drop t
+    in
+    held := drop !held
+  in
+  let check_field loc name =
+    match Hashtbl.find_opt g.fields name with
+    | Some m when not (List.mem m !held) ->
+      emit Rule.Lock_guarded_unlocked loc
+        "field '%s' is [@guarded_by %s] but %s is not held here" name m m
+    | _ -> ()
+  in
+  let check_ident loc name =
+    match Hashtbl.find_opt g.idents name with
+    | Some m when not (List.mem m !held) ->
+      emit Rule.Lock_guarded_unlocked loc
+        "binding '%s' is [@@guarded_by %s] but %s is not held here" name m m
+    | _ -> ()
+  in
+  let expr_case (it : Ast_iterator.iterator) e =
+    let waived_here = Walk.no_lock_needed_attr e.pexp_attributes in
+    if waived_here then incr suppress;
+    (match Walk.is_call ~target:[ "Mutex"; "protect" ] e with
+    | Some (lock :: rest) ->
+      let name = Walk.lock_name lock in
+      it.expr it lock;
+      acquire name e.pexp_loc;
+      List.iter (it.expr it) rest;
+      release name
+    | Some [] | None -> (
+      match Walk.is_call ~target:[ "Mutex"; "lock" ] e with
+      | Some (lock :: _) ->
+        it.expr it lock;
+        acquire (Walk.lock_name lock) e.pexp_loc
+      | _ -> (
+        match Walk.is_call ~target:[ "Mutex"; "unlock" ] e with
+        | Some (lock :: _) ->
+          it.expr it lock;
+          release (Walk.lock_name lock)
+        | _ -> (
+          match Walk.is_call ~target:[ "Condition"; "wait" ] e with
+          | Some args ->
+            if not !in_while then
+              emit Rule.Lock_wait_outside_loop e.pexp_loc
+                "Condition.wait outside a predicate-rechecking while \
+                 loop (spurious wakeups and signal races slip through)";
+            List.iter (it.expr it) args
+          | None -> (
+            match e.pexp_desc with
+            | Pexp_while (cond, body) ->
+              it.expr it cond;
+              let saved = !in_while in
+              in_while := true;
+              it.expr it body;
+              in_while := saved
+            | Pexp_field (_, { txt; _ }) ->
+              check_field e.pexp_loc (Walk.last_of_lid txt);
+              Ast_iterator.default_iterator.expr it e
+            | Pexp_setfield (_, { txt; _ }, _) ->
+              check_field e.pexp_loc (Walk.last_of_lid txt);
+              Ast_iterator.default_iterator.expr it e
+            | Pexp_ident { txt = Longident.Lident n; _ } ->
+              check_ident e.pexp_loc n
+            | _ -> Ast_iterator.default_iterator.expr it e)))));
+    if waived_here then decr suppress
+  in
+  let iter = { Ast_iterator.default_iterator with expr = expr_case } in
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            held := [];
+            in_while := false;
+            (match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> (
+              match Hashtbl.find_opt g.seeds txt with
+              | Some m -> held := [ m ]
+              | None -> ())
+            | _ -> ());
+            iter.expr iter vb.pvb_expr)
+          vbs
+      | Pstr_eval (e, _) ->
+        held := [];
+        in_while := false;
+        iter.expr iter e
+      | _ -> ())
+    u.Source.structure;
+  (!findings, !edges)
+
+(* --- lock-order cycles (LOCK002), over all units' edges ------------ *)
+
+let cycles edges =
+  let edges =
+    List.sort
+      (fun a b ->
+        compare
+          (a.e_file, a.e_loc.Location.loc_start.Lexing.pos_lnum, a.e_from,
+           a.e_to)
+          (b.e_file, b.e_loc.Location.loc_start.Lexing.pos_lnum, b.e_from,
+           b.e_to))
+      edges
+  in
+  let succs n =
+    List.filter_map
+      (fun e -> if e.e_from = n then Some e.e_to else None)
+      edges
+    |> List.sort_uniq compare
+  in
+  (* Path from [src] to [dst], nodes in visit order, or None. *)
+  let path src dst =
+    let rec dfs visited trail n =
+      if n = dst then Some (List.rev (n :: trail))
+      else if List.mem n visited then None
+      else
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some _ -> acc
+            | None -> dfs (n :: visited) (n :: trail) s)
+          None (succs n)
+    in
+    dfs [] [] src
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun e ->
+      match path e.e_to e.e_from with
+      | None -> None
+      | Some back ->
+        let nodes = List.sort_uniq compare (e.e_from :: back) in
+        let key = String.concat "," nodes in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          (* [back] runs e_to .. e_from, so prepending e_from closes
+             the cycle textually: a -> b -> a. *)
+          Some
+            (Finding.v Rule.Lock_order_cycle ~unit_file:e.e_file e.e_loc
+               "lock-order cycle: %s"
+               (String.concat " -> " (e.e_from :: back)))
+        end)
+    edges

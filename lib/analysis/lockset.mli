@@ -1,0 +1,25 @@
+(** LOCK rules: lockset analysis, acquisition-order graph, wait
+    discipline.
+
+    Annotations: [[@guarded_by m]] on a record field or
+    [[@@guarded_by m]] on a top-level binding makes every access
+    require the lock class [m] (the last segment of the lock path)
+    in the current lockset; [[@@locked_by m]] on a binding declares a
+    held-lock precondition and seeds the set. The analysis is
+    class-based and syntactic — see DESIGN.md §13 for the precise
+    soundness envelope. *)
+
+type edge = {
+  e_from : string;  (** qualified lock class, ["Squeue.lock"] *)
+  e_to : string;
+  e_loc : Location.t;
+  e_file : string;
+}
+
+val analyze : Source.t -> Finding.t list * edge list
+(** LOCK001/LOCK003 findings plus this unit's acquisition edges. *)
+
+val cycles : edge list -> Finding.t list
+(** LOCK002: one finding per distinct cycle (by node set) in the
+    global acquisition graph, at the deterministically first edge
+    that closes it. *)

@@ -1,0 +1,138 @@
+(* Shared Parsetree plumbing for the rule passes: longident matching,
+   [@@]/[|>] application normalisation, stable path keys for lock and
+   atomic identity, annotation extraction, pattern binders. *)
+
+open Parsetree
+
+let lid_names lid =
+  match Longident.flatten lid with "Stdlib" :: rest -> rest | l -> l
+
+let ident_names e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (lid_names txt) | _ -> None
+
+(* [suffix_matches ~target names] — [Mutex.protect], [Stdlib.Mutex.protect]
+   and [Foo.Mutex.protect] (a re-export) all count as [["Mutex";"protect"]]. *)
+let suffix_matches ~target names =
+  let nt = List.length target and nn = List.length names in
+  nn >= nt && List.filteri (fun i _ -> i >= nn - nt) names = target
+
+let rec unparen e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> unparen e
+  | _ -> e
+
+(* Flatten an application through [@@], [|>] and currying into
+   (callee, args): [f x @@ g] becomes (f, [x; g]), [x |> f] becomes
+   (f, [x]), and [(f x) g] — the shape Untypeast emits for [@@] since
+   the typechecker resolves the operator away — becomes (f, [x; g]).
+   Only [Nolabel] arguments are kept — every callee the passes match
+   takes its interesting arguments positionally. *)
+let rec app_parts e =
+  match (unparen e).pexp_desc with
+  | Pexp_apply (f, args) -> (
+    let plain =
+      List.filter_map
+        (fun (lbl, a) ->
+          match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+        args
+    in
+    match (ident_names f, plain) with
+    | Some [ "@@" ], [ lhs; rhs ] -> (
+      match app_parts lhs with
+      | Some (callee, inner) -> Some (callee, inner @ [ rhs ])
+      | None -> Some (lhs, [ rhs ]))
+    | Some [ "|>" ], [ lhs; rhs ] -> (
+      match app_parts rhs with
+      | Some (callee, inner) -> Some (callee, inner @ [ lhs ])
+      | None -> Some (rhs, [ lhs ]))
+    | _ -> (
+      match app_parts f with
+      | Some (callee, inner) -> Some (callee, inner @ plain)
+      | None -> Some (f, plain)))
+  | _ -> None
+
+let is_call ~target e =
+  match app_parts e with
+  | Some (callee, args) -> (
+    match ident_names callee with
+    | Some names when suffix_matches ~target names -> Some args
+    | _ -> None)
+  | None -> None
+
+(* Exactly the unqualified [name] — so the [incr]/[:=] ref operators
+   never swallow [Atomic.incr] or a module's own [Obs.incr]. *)
+let is_bare_call ~name e =
+  match app_parts e with
+  | Some (callee, args) -> (
+    match ident_names callee with
+    | Some [ n ] when n = name -> Some args
+    | _ -> None)
+  | None -> None
+
+(* A stable textual key for "the same location" — [t.lock], [c.value],
+   [registry_lock]. Indexing and unknown shapes collapse to ["?"],
+   which the passes treat as "never the same thing twice". *)
+let rec path_key e =
+  match (unparen e).pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (lid_names txt)
+  | Pexp_field (b, { txt; _ }) ->
+    path_key b ^ "." ^ Longident.last txt
+  | _ -> "?"
+
+(* The short name a lock is classed by inside one module: the last
+   field or binding segment ([t.lock] and [q.lock] are the same lock
+   class; [registry_lock] is its own). *)
+let lock_name e =
+  match String.rindex_opt (path_key e) '.' with
+  | None -> path_key e
+  | Some i ->
+    let p = path_key e in
+    String.sub p (i + 1) (String.length p - i - 1)
+
+let last_of_lid lid = Longident.last lid
+
+(* --- annotations and waivers -------------------------------------- *)
+
+let attr_named name (attrs : attributes) =
+  List.find_opt (fun a -> a.attr_name.Asttypes.txt = name) attrs
+
+let has_attr name attrs = attr_named name attrs <> None
+
+(* [@guarded_by m] / [@@locked_by m]: the payload is a bare identifier
+   naming the lock (a field of the same record, or a sibling binding). *)
+let attr_ident name attrs =
+  match attr_named name attrs with
+  | Some { attr_payload = PStr [ { pstr_desc = Pstr_eval (e, _); _ } ]; _ }
+    -> (
+    match (unparen e).pexp_desc with
+    | Pexp_ident { txt; _ } -> Some (Longident.last txt)
+    | _ -> None)
+  | _ -> None
+
+let guarded_by_attr attrs = attr_ident "guarded_by" attrs
+let locked_by_attr attrs = attr_ident "locked_by" attrs
+let domain_local_attr attrs = has_attr "domain_local" attrs
+let atomic_ok_attr attrs = has_attr "atomic_ok" attrs
+let no_lock_needed_attr attrs = has_attr "no_lock_needed" attrs
+
+(* --- patterns ------------------------------------------------------ *)
+
+let rec pattern_binders acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_binders (txt :: acc) p
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pattern_binders acc ps
+  | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) ->
+    pattern_binders acc p
+  | Ppat_record (fields, _) ->
+    List.fold_left (fun acc (_, p) -> pattern_binders acc p) acc fields
+  | Ppat_or (a, b) -> pattern_binders (pattern_binders acc a) b
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p)
+  | Ppat_exception p ->
+    pattern_binders acc p
+  | _ -> acc
+
+module StringSet = Set.Make (String)
+
+let bind_pattern set p =
+  List.fold_left (fun s x -> StringSet.add x s) set (pattern_binders [] p)

@@ -55,10 +55,28 @@ let errors diags = List.filter (fun d -> d.severity = Error) diags
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
-let sort diags =
-  List.stable_sort
-    (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
-    diags
+(* Total order, not just severity classes: two runs that find the same
+   set of diagnostics print them in the same sequence whatever
+   traversal order produced them, so CI output is diffable. *)
+let compare_t a b =
+  compare
+    ( severity_rank a.severity,
+      Rule.code a.rule,
+      a.app,
+      a.node,
+      a.proc,
+      a.window,
+      a.message )
+    ( severity_rank b.severity,
+      Rule.code b.rule,
+      b.app,
+      b.node,
+      b.proc,
+      b.window,
+      b.message )
+
+let sort diags = List.stable_sort compare_t diags
+let compare = compare_t
 
 let rule_ids diags =
   List.filter_map

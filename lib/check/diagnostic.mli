@@ -41,8 +41,14 @@ val pp : Format.formatter -> t -> unit
 val has_errors : t list -> bool
 val errors : t list -> t list
 
+val compare : t -> t -> int
+(** Total deterministic order: severity rank, then rule code, then
+    location fields ([app], [node], [proc], [window]), then message. *)
+
 val sort : t list -> t list
-(** Errors first, then warnings, then infos; stable within a class. *)
+(** Sorted under {!compare}: errors first, then warnings, then infos,
+    same-severity diagnostics in a stable location order — CI output is
+    byte-diffable across runs. *)
 
 val rule_ids : t list -> string list
 (** Distinct rule ids present, in registry order — what tests assert. *)

@@ -33,6 +33,8 @@ let epoch = ref 0.
 let stack : frame list ref = ref []
 let completed : span list ref = ref [] (* reverse completion order *)
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+[@@guarded_by registry_lock]
+
 let registry_lock = Mutex.create ()
 
 let enabled () = Atomic.get on

@@ -1,0 +1,168 @@
+(* Vector-clock happens-before tracker: the dynamic cross-check of the
+   static lockset rules. Instrumentation sites in Squeue/Service name a
+   [sync] (a lock or join edge) and a [loc] (a guarded mutable region);
+   each domain owns a vector-clock slot, [acquire]/[release] carry
+   clocks across the sync, and an access checks that every previously
+   recorded conflicting access is ordered before it.
+
+   All tracker state lives under one global mutex — the tracker must
+   not itself race, and it only runs under the [race] dune profile
+   (enabled explicitly by the test), so the serialization cost is
+   irrelevant. When disabled every entry point is a cheap atomic load
+   and a return, so the default-profile serve path is unaffected. *)
+
+let max_slots = 64
+
+let enabled_flag = Atomic.make false
+let hb_lock = Mutex.create ()
+
+(* Generation stamp: [enable] bumps it, and any sync/loc created under
+   an older generation lazily clears its snapshots on first touch, so
+   trackers survive enable/disable cycles across tests. *)
+let generation = ref 0
+
+let clocks = Array.make_matrix max_slots max_slots 0
+let slots : (int, int) Hashtbl.t = Hashtbl.create 16
+let next_slot = ref 0
+let violation_log = ref []
+
+(* [s_label] is for debugger eyes only — violations name locs. *)
+type sync = { s_label : string; s_clock : int array; mutable s_gen : int }
+[@@warning "-69"]
+
+type loc = {
+  l_label : string;
+  l_writes : int array array;  (* per-slot clock snapshot at last write *)
+  l_wrote : bool array;
+  l_reads : int array array;
+  l_read : bool array;
+  mutable l_gen : int;
+}
+
+let sync label = { s_label = label; s_clock = Array.make max_slots 0; s_gen = -1 }
+
+let loc label =
+  {
+    l_label = label;
+    l_writes = Array.make_matrix max_slots max_slots 0;
+    l_wrote = Array.make max_slots false;
+    l_reads = Array.make_matrix max_slots max_slots 0;
+    l_read = Array.make max_slots false;
+    l_gen = -1;
+  }
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () =
+  Mutex.protect hb_lock @@ fun () ->
+  incr generation;
+  Array.iter (fun row -> Array.fill row 0 max_slots 0) clocks;
+  Hashtbl.reset slots;
+  next_slot := 0;
+  violation_log := [];
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let violations () =
+  Mutex.protect hb_lock @@ fun () -> List.rev !violation_log
+
+(* --- under hb_lock ------------------------------------------------- *)
+
+let slot_locked () =
+  let d = (Domain.self () :> int) in
+  match Hashtbl.find_opt slots d with
+  | Some s -> s
+  | None ->
+    let s = !next_slot in
+    if s >= max_slots then failwith "Hb: more than 64 domains";
+    incr next_slot;
+    Hashtbl.add slots d s;
+    s
+
+let fresh_sync s =
+  if s.s_gen <> !generation then begin
+    Array.fill s.s_clock 0 max_slots 0;
+    s.s_gen <- !generation
+  end
+
+let fresh_loc l =
+  if l.l_gen <> !generation then begin
+    Array.fill l.l_wrote 0 max_slots false;
+    Array.fill l.l_read 0 max_slots false;
+    l.l_gen <- !generation
+  end
+
+let join dst src =
+  for i = 0 to max_slots - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let flag me l kind k =
+  violation_log :=
+    Printf.sprintf
+      "race on '%s': slot %d's %s is unordered with slot %d's write"
+      l.l_label k kind me
+    :: !violation_log
+
+(* --- entry points -------------------------------------------------- *)
+
+let acquire s =
+  if enabled () then
+    Mutex.protect hb_lock @@ fun () ->
+    fresh_sync s;
+    let me = slot_locked () in
+    join clocks.(me) s.s_clock
+
+let release s =
+  if enabled () then
+    Mutex.protect hb_lock @@ fun () ->
+    fresh_sync s;
+    let me = slot_locked () in
+    join s.s_clock clocks.(me);
+    clocks.(me).(me) <- clocks.(me).(me) + 1
+
+let region s f =
+  acquire s;
+  Fun.protect ~finally:(fun () -> release s) f
+
+(* An access by slot [me] is ordered after a prior access recorded by
+   slot [k] iff the snapshot's own component is visible in [me]'s
+   clock: snapshot.(k) <= clocks.(me).(k). Tick first so concurrent
+   accesses are asymmetric — of two unordered writes, exactly the
+   second one to reach the tracker reports. *)
+let write l =
+  if enabled () then
+    Mutex.protect hb_lock @@ fun () ->
+    fresh_loc l;
+    let me = slot_locked () in
+    clocks.(me).(me) <- clocks.(me).(me) + 1;
+    for k = 0 to max_slots - 1 do
+      if k <> me then begin
+        if l.l_wrote.(k) && l.l_writes.(k).(k) > clocks.(me).(k) then
+          flag me l "write" k;
+        if l.l_read.(k) && l.l_reads.(k).(k) > clocks.(me).(k) then
+          flag me l "read" k
+      end
+    done;
+    Array.blit clocks.(me) 0 l.l_writes.(me) 0 max_slots;
+    l.l_wrote.(me) <- true
+
+let read l =
+  if enabled () then
+    Mutex.protect hb_lock @@ fun () ->
+    fresh_loc l;
+    let me = slot_locked () in
+    clocks.(me).(me) <- clocks.(me).(me) + 1;
+    for k = 0 to max_slots - 1 do
+      if k <> me && l.l_wrote.(k) && l.l_writes.(k).(k) > clocks.(me).(k)
+      then
+        violation_log :=
+          Printf.sprintf
+            "race on '%s': slot %d's write is unordered with slot %d's \
+             read"
+            l.l_label k me
+          :: !violation_log
+    done;
+    Array.blit clocks.(me) 0 l.l_reads.(me) 0 max_slots;
+    l.l_read.(me) <- true

@@ -1,0 +1,55 @@
+(** Vector-clock happens-before validator — the dynamic cross-check of
+    the static LOCK rules (see DESIGN.md §13).
+
+    Instrumentation sites in {!Squeue} and {!Service} declare a {!sync}
+    per synchronisation object (a mutex, a domain join) and a {!loc}
+    per guarded mutable region. When enabled, each domain gets a
+    vector-clock slot; {!acquire}/{!release} carry clocks across the
+    sync exactly as the OCaml memory model carries visibility, and
+    {!write}/{!read} check the access against every recorded
+    conflicting access: any pair not ordered by the clocks is a data
+    race, logged in {!violations}.
+
+    Disabled (the default), every entry point is one atomic load — the
+    production serve path pays nothing. The [race] dune profile builds
+    [test/test_race.ml], which enables the tracker, replays the serve
+    scenarios (must report zero violations) and a seeded race (must
+    report exactly one). Supports at most 64 domains. *)
+
+type sync
+type loc
+
+val sync : string -> sync
+(** A named synchronisation edge; create once per object (e.g. per
+    queue), label used in violation messages. *)
+
+val loc : string -> loc
+(** A named mutable region guarded as one unit. *)
+
+val enable : unit -> unit
+(** Reset all clocks/slots/violations and start tracking. Syncs and
+    locs created earlier are lazily reset on first touch. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val acquire : sync -> unit
+(** Join the sync's clock into the calling domain's — entering the
+    critical section / observing the release. *)
+
+val release : sync -> unit
+(** Join the calling domain's clock into the sync's, then advance the
+    caller — leaving the critical section / publishing. *)
+
+val region : sync -> (unit -> 'a) -> 'a
+(** [acquire]; run; [release] (also on exception). *)
+
+val write : loc -> unit
+(** Record a write; flags any prior write {e or read} by another domain
+    not ordered before it. *)
+
+val read : loc -> unit
+(** Record a read; flags any prior unordered write. *)
+
+val violations : unit -> string list
+(** Races recorded since {!enable}, oldest first. *)

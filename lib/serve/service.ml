@@ -57,10 +57,16 @@ type t = {
   shards : Shard.t array;
   router : Router.t;
   domains : unit Domain.t array;
-  mutable submitted : int;
-  mutable rejected : int;
-  mutable last_release : float;
-  mutable closed : bool;
+  lock : Mutex.t;
+      (** guards the four counters below; never held across a
+          (possibly blocking) queue push, so a blocked submitter cannot
+          deadlock a concurrent close *)
+  mutable submitted : int; [@guarded_by lock]
+  mutable rejected : int; [@guarded_by lock]
+  mutable last_release : float; [@guarded_by lock]
+  mutable closed : bool; [@guarded_by lock]
+  hb : Hb.sync;
+  hb_state : Hb.loc;
   started_at : float;
 }
 
@@ -98,20 +104,33 @@ let create config platform =
     shards;
     router;
     domains;
+    lock = Mutex.create ();
     submitted = 0;
     rejected = 0;
     last_release = 0.;
     closed = false;
+    hb = Hb.sync "service.lock";
+    hb_state = Hb.loc "service.state";
     started_at = Unix.gettimeofday ();
   }
 
+(* Short critical sections only: validate-and-count, then push with
+   the lock released (the push may block on backpressure, and a
+   submitter blocked under the service lock would deadlock close). *)
 let submit t ptg ~release =
-  if t.closed then invalid_arg "Service.submit: closed";
-  if (not (Float.is_finite release)) || release < t.last_release then
-    invalid_arg "Service.submit: releases must be nondecreasing";
-  t.last_release <- release;
-  let global = t.submitted in
-  t.submitted <- t.submitted + 1;
+  let global =
+    Mutex.protect t.lock @@ fun () ->
+    Hb.region t.hb @@ fun () ->
+    Hb.read t.hb_state;
+    if t.closed then invalid_arg "Service.submit: closed";
+    if (not (Float.is_finite release)) || release < t.last_release then
+      invalid_arg "Service.submit: releases must be nondecreasing";
+    Hb.write t.hb_state;
+    t.last_release <- release;
+    let global = t.submitted in
+    t.submitted <- t.submitted + 1;
+    global
+  in
   Obs.incr c_submitted;
   let k = Router.route t.router ~work:(Ptg.work ptg) in
   let sh = t.shards.(k) in
@@ -140,14 +159,23 @@ let submit t ptg ~release =
     Obs.incr c_admitted;
     Admitted k
   | Squeue.Full ->
-    t.rejected <- t.rejected + 1;
+    (Mutex.protect t.lock @@ fun () ->
+     Hb.region t.hb @@ fun () ->
+     Hb.write t.hb_state;
+     t.rejected <- t.rejected + 1);
     Obs.incr c_rejected;
     Rejected
   | Squeue.Closed -> invalid_arg "Service.submit: closed"
 
 let build_report t =
+  let submitted, rejected =
+    Mutex.protect t.lock @@ fun () ->
+    Hb.region t.hb @@ fun () ->
+    Hb.read t.hb_state;
+    (t.submitted, t.rejected)
+  in
   let reports = Array.map Shard.report t.shards in
-  let responses = Array.make t.submitted Float.nan in
+  let responses = Array.make submitted Float.nan in
   Array.iter
     (fun r ->
       Array.iteri
@@ -158,9 +186,9 @@ let build_report t =
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reports in
   {
     shards = reports;
-    submitted = t.submitted;
-    admitted = t.submitted - t.rejected;
-    rejected = t.rejected;
+    submitted;
+    admitted = submitted - rejected;
+    rejected;
     handoffs = sum (fun r -> r.Shard.handoffs_out);
     peak_active = sum (fun r -> r.Shard.peak_active);
     responses;
@@ -172,12 +200,20 @@ let build_report t =
   }
 
 let close t =
-  if t.closed then invalid_arg "Service.close: already closed";
-  t.closed <- true;
+  (Mutex.protect t.lock @@ fun () ->
+   Hb.region t.hb @@ fun () ->
+   Hb.read t.hb_state;
+   if t.closed then invalid_arg "Service.close: already closed";
+   Hb.write t.hb_state;
+   t.closed <- true);
   (match t.config.mode with
   | Domains ->
     Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards;
-    Array.iter Domain.join t.domains
+    Array.iter Domain.join t.domains;
+    (* The join edge: each shard released [hb_done] at the end of its
+       loop; acquiring after the join tells the tracker everything the
+       shard did is visible to the sweep below. *)
+    Array.iter (fun sh -> Hb.acquire (Shard.hb_done sh)) t.shards
   | Inline -> Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards);
   (* Sweep to fixpoint: inline-mode leftovers, plus hand-offs that
      landed after their target's domain exited. Shedding off, so every

@@ -28,6 +28,8 @@ type t = {
   mutable injected : int;
   mutable handoffs_in : int;
   mutable handoffs_out : int;
+  hb_done : Hb.sync;  (** released by [finish]; the Domain.join edge *)
+  hb_state : Hb.loc;  (** the owner-domain-confined mutable fields *)
 }
 
 (* Greedy balanced partition: heaviest cluster onto the lightest shard.
@@ -99,10 +101,7 @@ let make ~index ~platform ~clusters ~admission ~policy ~capture_log ~check
   let log ev =
     (match ev with
     | Log.Departure { app; _ } ->
-      (* Single writer (the owning domain); the atomic publishes the
-         gauge to router/peers, it does not arbitrate writes. *)
-      Atomic.set load_gauge
-        (Float.max 0. (Atomic.get load_gauge -. !works.(app)))
+      Stats.gauge_sub_floor load_gauge !works.(app)
     | _ -> ());
     if capture_log then log_rev := ev :: !log_rev
   in
@@ -143,10 +142,13 @@ let make ~index ~platform ~clusters ~admission ~policy ~capture_log ~check
     injected = 0;
     handoffs_in = 0;
     handoffs_out = 0;
+    hb_done = Hb.sync "shard.done";
+    hb_state = Hb.loc "shard.state";
   }
 
 let set_peers t peers = t.peers <- peers
 let queue t = t.queue
+let hb_done t = t.hb_done
 let index t = t.index
 let load t = Atomic.get t.load_gauge
 
@@ -180,6 +182,7 @@ let inject t ~allow_shed msgs =
   | [] -> ()
   | msgs ->
     Obs.with_span "serve.pickup" @@ fun () ->
+    Hb.write t.hb_state;
     let kept = ref [] in
     List.iter
       (fun m ->
@@ -205,8 +208,7 @@ let inject t ~allow_shed msgs =
        next advance: the departure callback indexes [works]. *)
     t.globals <- Array.append t.globals added_globals;
     t.works := Array.append !(t.works) added_works;
-    Atomic.set t.load_gauge
-      (Atomic.get t.load_gauge +. Array.fold_left ( +. ) 0. added_works)
+    Stats.gauge_add t.load_gauge (Array.fold_left ( +. ) 0. added_works)
 
 let sample t =
   Obs.record_max c_queue_peak (Squeue.peak t.queue);
@@ -217,7 +219,11 @@ let step t ~upto =
 
 let finish t =
   (Obs.with_span "serve.step" @@ fun () -> Engine.advance t.session);
-  sample t
+  sample t;
+  Hb.write t.hb_state;
+  (* Publish everything this shard ever did; [Service.close] acquires
+     after [Domain.join], modelling the join's visibility guarantee. *)
+  Hb.release t.hb_done
 
 let pickup t =
   let b = Squeue.drain t.queue in
@@ -257,6 +263,7 @@ type report = {
 
 let report t =
   sample t;
+  Hb.read t.hb_state;
   {
     shard = t.index;
     clusters = t.clusters;

@@ -67,6 +67,12 @@ val set_peers : t -> t array -> unit
 (** Install the full shard array (self included) — hand-off targets. *)
 
 val queue : t -> msg Squeue.t
+
+val hb_done : t -> Hb.sync
+(** Happens-before sync released by {!finish}: after [Domain.join],
+    {!Hb.acquire} it to model the join's visibility edge (race
+    profile; no-op when the tracker is disabled). *)
+
 val index : t -> int
 val load : t -> float
 (** Live in-flight gauge: GFlop injected minus GFlop departed.

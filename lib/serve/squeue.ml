@@ -2,12 +2,14 @@ type 'a t = {
   lock : Mutex.t;
   nonfull : Condition.t;
   nonempty : Condition.t;
-  items : 'a Queue.t;
+  items : 'a Queue.t; [@guarded_by lock]
   capacity : int;
-  mutable closed : bool;
-  mutable watermark : float;
-  mutable peak : int;
-  mutable pushed : int;
+  mutable closed : bool; [@guarded_by lock]
+  mutable watermark : float; [@guarded_by lock]
+  mutable peak : int; [@guarded_by lock]
+  mutable pushed : int; [@guarded_by lock]
+  hb : Hb.sync;
+  hb_state : Hb.loc;
 }
 
 type push_outcome = Accepted | Full | Closed
@@ -25,17 +27,26 @@ let create ~capacity =
     watermark = 0.;
     peak = 0;
     pushed = 0;
+    hb = Hb.sync "squeue.lock";
+    hb_state = Hb.loc "squeue.state";
   }
 
 let enqueue t x =
+  Hb.write t.hb_state;
   Queue.add x t.items;
   t.pushed <- t.pushed + 1;
   let len = Queue.length t.items in
   if len > t.peak then t.peak <- len;
+  (* Uniform predicate: every nonempty-waiter wants "queue not empty",
+     and the woken consumer drains everything — one wakeup is enough
+     and the rest would find the queue already empty. *)
   Condition.signal t.nonempty
+[@@locked_by lock]
 
 let push t ~block x =
   Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.read t.hb_state;
   if t.closed then Closed
   else if Queue.length t.items < t.capacity then begin
     enqueue t x;
@@ -44,7 +55,9 @@ let push t ~block x =
   else if not block then Full
   else begin
     while Queue.length t.items >= t.capacity && not t.closed do
-      Condition.wait t.nonfull t.lock
+      Hb.release t.hb;
+      Condition.wait t.nonfull t.lock;
+      Hb.acquire t.hb
     done;
     if t.closed then Closed
     else begin
@@ -53,37 +66,67 @@ let push t ~block x =
     end
   end
 
-let push_unbounded t x = Mutex.protect t.lock @@ fun () -> enqueue t x
+let push_unbounded t x =
+  Mutex.protect t.lock @@ fun () -> Hb.region t.hb @@ fun () -> enqueue t x
 
 let take_all t =
+  Hb.write t.hb_state;
   (* Materialise before clearing: [Queue.to_seq] is lazy. *)
   let msgs = List.of_seq (Queue.to_seq t.items) in
   Queue.clear t.items;
   if msgs <> [] then Condition.broadcast t.nonfull;
   { msgs; watermark = t.watermark; closed = t.closed }
+[@@locked_by lock]
 
 let wait_batch t ~seen =
   Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.read t.hb_state;
   while Queue.is_empty t.items && (not t.closed) && t.watermark <= seen do
-    Condition.wait t.nonempty t.lock
+    Hb.release t.hb;
+    Condition.wait t.nonempty t.lock;
+    Hb.acquire t.hb
   done;
   take_all t
 
-let drain t = Mutex.protect t.lock @@ fun () -> take_all t
+let drain t =
+  Mutex.protect t.lock @@ fun () -> Hb.region t.hb @@ fun () -> take_all t
 
 let advance_watermark t w =
   Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
   if w > t.watermark then begin
+    Hb.write t.hb_state;
     t.watermark <- w;
-    Condition.signal t.nonempty
+    (* Broadcast, not signal: nonempty-waiters block on heterogeneous
+       predicates (each consumer's own [seen]), so a single wakeup can
+       land on a waiter whose watermark condition is still false and
+       strand the one it just became true for — a lost wakeup. *)
+    Condition.broadcast t.nonempty
   end
 
 let close t =
   Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.write t.hb_state;
   t.closed <- true;
   Condition.broadcast t.nonempty;
   Condition.broadcast t.nonfull
 
-let length t = Mutex.protect t.lock @@ fun () -> Queue.length t.items
-let peak t = Mutex.protect t.lock @@ fun () -> t.peak
-let pushed t = Mutex.protect t.lock @@ fun () -> t.pushed
+let length t =
+  Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.read t.hb_state;
+  Queue.length t.items
+
+let peak t =
+  Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.read t.hb_state;
+  t.peak
+
+let pushed t =
+  Mutex.protect t.lock @@ fun () ->
+  Hb.region t.hb @@ fun () ->
+  Hb.read t.hb_state;
+  t.pushed

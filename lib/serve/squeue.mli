@@ -58,7 +58,10 @@ val drain : 'a t -> 'a batch
 
 val advance_watermark : 'a t -> float -> unit
 (** Raise the watermark (monotone: lower values are ignored) and wake
-    the consumer so it can step its engine up to the new bound. *)
+    {e all} blocked consumers — a broadcast, because each waiter blocks
+    on its own [seen] threshold and a single wakeup could land on a
+    waiter whose threshold the new watermark does not clear, stranding
+    the one it does. *)
 
 val close : 'a t -> unit
 (** Refuse further {!push}es and wake everyone. Already-queued messages

@@ -1,5 +1,16 @@
 module Log = Mcs_online.Log
 
+(* Float gauges are Atomic.t floats updated from one domain but read
+   by router/peers on others, and boxed floats have no fetch_and_add:
+   the only raceproof update is a compare_and_set retry loop keyed on
+   the physically-equal boxed read. *)
+let rec gauge_update g f =
+  let seen = Atomic.get g in
+  if not (Atomic.compare_and_set g seen (f seen)) then gauge_update g f
+
+let gauge_add g delta = gauge_update g (fun v -> v +. delta)
+let gauge_sub_floor g delta = gauge_update g (fun v -> Float.max 0. (v -. delta))
+
 let percentile values ~p =
   let finite =
     Array.of_seq (Seq.filter Float.is_finite (Array.to_seq values))

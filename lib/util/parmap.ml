@@ -39,7 +39,10 @@ let map ?domains f l =
            although another worker already failed. *)
         if i < total && Atomic.get failure = None then begin
           (match f items.(i) with
-          | value -> results.(i) <- Some value
+          (* Disjoint slots: the fetch_and_add above hands index [i] to
+             exactly one worker, and the joins in [map] publish the
+             writes before the gather reads them. *)
+          | value -> (results.(i) <- Some value) [@domain_local]
           | exception e ->
             (* Keep the first failure, with the backtrace captured on
                the worker that raised; losing later ones is fine. *)

@@ -1,0 +1,12 @@
+(* Seeded violation: ATOM001 atomic-get-set-rmw.
+   get-then-set drops concurrent increments between the two calls;
+   the atomic type only helps if the update itself is atomic.
+   Never built. *)
+
+let gauge = Atomic.make 0
+
+(* BAD: lossy read-modify-write. *)
+let bump_lossy () = Atomic.set gauge (Atomic.get gauge + 1)
+
+(* GOOD: the primitive carries the update. *)
+let bump () = Atomic.incr gauge

@@ -1,0 +1,19 @@
+(* Seeded violation: ESCAPE001 escape-captured-write.
+   The spawned closure increments a plain ref captured from the
+   spawning domain — a lost-update race. Never built. *)
+
+let count_twice () =
+  let hits = ref 0 in
+  (* BAD: captured ref mutated on another domain. *)
+  let d = Domain.spawn (fun () -> incr hits) in
+  incr hits;
+  Domain.join d;
+  !hits
+
+(* GOOD: an Atomic carries the cross-domain count. *)
+let count_twice_atomic () =
+  let hits = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr hits) in
+  Atomic.incr hits;
+  Domain.join d;
+  Atomic.get hits

@@ -1,0 +1,25 @@
+(* Seeded violation: ESCAPE002 escape-captured-container.
+   The worker writes into a captured Hashtbl with no guard — Hashtbl
+   is not safe for concurrent mutation. Never built. *)
+
+let index_all keys =
+  let table = Hashtbl.create 16 in
+  let worker () =
+    (* BAD: captured container mutated on another domain. *)
+    List.iter (fun k -> Hashtbl.replace table k (String.length k)) keys
+  in
+  let d = Domain.spawn worker in
+  Domain.join d;
+  table
+
+(* GOOD: guard the shared table. *)
+let index_all_locked keys =
+  let table = Hashtbl.create 16 in
+  let lock = Mutex.create () in
+  let worker () =
+    Mutex.protect lock @@ fun () ->
+    List.iter (fun k -> Hashtbl.replace table k (String.length k)) keys
+  in
+  let d = Domain.spawn worker in
+  Domain.join d;
+  table

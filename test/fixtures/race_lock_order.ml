@@ -1,0 +1,16 @@
+(* Seeded violation: LOCK002 lock-order-cycle.
+   [transfer] takes alpha before beta, [refund] takes beta before
+   alpha — two domains running one each deadlock. Never built. *)
+
+let alpha = Mutex.create ()
+let beta = Mutex.create ()
+let balance = ref 0
+
+let transfer n =
+  Mutex.protect alpha @@ fun () ->
+  Mutex.protect beta @@ fun () -> balance := !balance + n
+
+(* BAD: acquisition order reversed — beta -> alpha closes the cycle. *)
+let refund n =
+  Mutex.protect beta @@ fun () ->
+  Mutex.protect alpha @@ fun () -> balance := !balance - n

@@ -1,0 +1,17 @@
+(* Seeded violation: LOCK001 guarded-field-unlocked.
+   [hits] is declared [@guarded_by lock] but [bump] touches it with no
+   mutex held; [bump_locked] shows the clean shape. Never built —
+   linted as text by test_analysis and the CI fixture loop. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable hits : int; [@guarded_by lock]
+}
+
+let make () = { lock = Mutex.create (); hits = 0 }
+
+(* BAD: lock-free write to a guarded field. *)
+let bump t = t.hits <- t.hits + 1
+
+(* GOOD: same write under the guard. *)
+let bump_locked t = Mutex.protect t.lock @@ fun () -> t.hits <- t.hits + 1

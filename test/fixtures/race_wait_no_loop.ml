@@ -1,0 +1,22 @@
+(* Seeded violation: LOCK003 wait-outside-loop.
+   The bare [Condition.wait] trusts a single wakeup to mean the
+   predicate holds; spurious wakeups and stolen signals break it.
+   Never built. *)
+
+let lock = Mutex.create ()
+let ready = Condition.create ()
+let pending = ref 0
+
+(* BAD: [if]-shaped wait, no predicate recheck. *)
+let take () =
+  Mutex.protect lock @@ fun () ->
+  if !pending = 0 then Condition.wait ready lock;
+  pending := !pending - 1
+
+(* GOOD: while-loop recheck. *)
+let take_safely () =
+  Mutex.protect lock @@ fun () ->
+  while !pending = 0 do
+    Condition.wait ready lock
+  done;
+  pending := !pending - 1

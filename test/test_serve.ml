@@ -85,6 +85,46 @@ let test_squeue_blocking () =
   Alcotest.(check (list int)) "all delivered in order" [ 0; 1; 2 ]
     (Domain.join consumer)
 
+let test_squeue_watermark_wakeup () =
+  (* Two consumers block on different [seen] thresholds. A watermark
+     advance that only clears the lower threshold must wake that
+     consumer even if the scheduler would have handed a single signal
+     to the other one — i.e. advance_watermark must broadcast. With
+     [Condition.signal] this test hangs (the wakeup can land on the
+     seen=10 waiter, which re-blocks, stranding the seen=0 one). *)
+  let q = Squeue.create ~capacity:4 in
+  let low_woke = Atomic.make false in
+  let low =
+    Domain.spawn (fun () ->
+        let b = Squeue.wait_batch q ~seen:0. in
+        (* Not a read-modify-write: the consumer only ever sets, the
+           poll below only ever gets. *)
+        (Atomic.set low_woke true) [@atomic_ok];
+        b)
+  in
+  let high =
+    Domain.spawn (fun () -> Squeue.wait_batch q ~seen:10.)
+  in
+  (* Let both consumers reach their wait; the queue stays empty so
+     neither can return before a watermark moves. *)
+  Unix.sleepf 0.05;
+  Squeue.advance_watermark q 5.;
+  (* Bounded poll: fail the test rather than hang forever. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not (Atomic.get low_woke)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "seen=0 consumer woken by watermark 5" true
+    (Atomic.get low_woke);
+  let b_low = Domain.join low in
+  Alcotest.(check (float 0.)) "low saw the advance" 5.
+    b_low.Squeue.watermark;
+  (* The high-threshold consumer is still blocked (5 <= 10): close
+     releases it and reports closed. *)
+  Squeue.close q;
+  let b_high = Domain.join high in
+  Alcotest.(check bool) "high released by close" true b_high.Squeue.closed
+
 (* --- admission / router / stats ----------------------------------- *)
 
 let test_admission () =
@@ -373,6 +413,8 @@ let suite =
         Alcotest.test_case "squeue bounded mailbox" `Quick test_squeue;
         Alcotest.test_case "squeue producer backpressure" `Quick
           test_squeue_blocking;
+        Alcotest.test_case "squeue watermark wakes the right consumer" `Quick
+          test_squeue_watermark_wakeup;
         Alcotest.test_case "admission quantisation" `Quick test_admission;
         Alcotest.test_case "router policies" `Quick test_router;
         Alcotest.test_case "percentiles" `Quick test_stats;
