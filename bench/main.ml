@@ -93,6 +93,45 @@ let micro_tests () =
              ignore
                (Mcs_sched.Allocation.allocate ref_cluster platform ~beta:1.
                   ptg50)));
+      (* 200-task PTG: the scale where the allocation loop's former
+         per-iteration area re-sum was quadratic (DESIGN.md section
+         14) — the scratch run now maintains the area incrementally. *)
+      Test.make ~name:"allocation-scrapmax-200tasks"
+        (Staged.stage
+           (let big =
+              incr gen_seed;
+              let rng = Mcs_prng.Prng.create ~seed:!gen_seed in
+              Mcs_ptg.Random_gen.generate rng
+                { Mcs_ptg.Random_gen.default with tasks = 200 }
+            in
+            fun () ->
+              ignore
+                (Mcs_sched.Allocation.allocate ref_cluster platform ~beta:0.2
+                   big)));
+      (* Cache fast paths (DESIGN.md section 14): an exact-β repeat is
+         served without touching the DAG; a moved β of the same
+         (budget, cap) key replays the recorded stop tests. *)
+      Test.make ~name:"allocation-cached-hit"
+        (Staged.stage
+           (let cache = Mcs_sched.Allocation.cache_create () in
+            let arena = Mcs_sched.Alloc_arena.create () in
+            fun () ->
+              ignore
+                (Mcs_sched.Allocation.allocate_cached ~cache ~arena ref_cluster
+                   platform ~beta:0.2 ptg50)));
+      Test.make ~name:"allocation-cached-rescale"
+        (Staged.stage
+           (let cache = Mcs_sched.Allocation.cache_create () in
+            let arena = Mcs_sched.Alloc_arena.create () in
+            let flip = ref false in
+            (* Both βs floor to the same per-level budget, so each call
+               after the first is a rescale replay, never a miss. *)
+            fun () ->
+              flip := not !flip;
+              let beta = if !flip then 0.2 else 0.2000001 in
+              ignore
+                (Mcs_sched.Allocation.allocate_cached ~cache ~arena ref_cluster
+                   platform ~beta ptg50)));
       Test.make ~name:"mapping-6apps"
         (Staged.stage (fun () ->
              ignore (Mcs_sched.List_mapper.run platform ref_cluster allocations)));
@@ -130,9 +169,10 @@ let run_online () =
       ~header:
         [
           "apps"; "events"; "events/s"; "reschedules"; "remap/resched";
-          "wall"; "wall/resched";
+          "alloc h/r/m"; "wall"; "wall/resched";
         ]
   in
+  let peak_rate = ref 0. in
   List.iter
     (fun count ->
       let rng = Mcs_prng.Prng.create ~seed:(97 + count) in
@@ -149,26 +189,55 @@ let run_online () =
             (ptg, !clock))
           ptgs
       in
-      let t0 = Unix.gettimeofday () in
-      let r = Mcs_online.Engine.run ~policy platform apps in
-      let wall = Unix.gettimeofday () -. t0 in
+      (* Best of three runs: the engine is deterministic, so the spread
+         is scheduler/cache noise and the minimum wall is the honest
+         cost — it is also what keeps the CI floor below stable. *)
+      let runs =
+        List.init 3 (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            let r = Mcs_online.Engine.run ~policy platform apps in
+            (r, Unix.gettimeofday () -. t0))
+      in
+      let r, wall =
+        List.fold_left
+          (fun (br, bw) (r, w) -> if w < bw then (r, w) else (br, bw))
+          (List.hd runs) (List.tl runs)
+      in
       let s = r.Mcs_online.Engine.stats in
       let ev = s.Mcs_online.Engine.events_processed in
       let resched = s.Mcs_online.Engine.reschedules in
+      let rate = float_of_int ev /. wall in
+      if rate > !peak_rate then peak_rate := rate;
       Mcs_util.Table.add_row table
         [
           string_of_int count;
           string_of_int ev;
-          Printf.sprintf "%.0f" (float_of_int ev /. wall);
+          Printf.sprintf "%.0f" rate;
           string_of_int resched;
           Printf.sprintf "%.1f"
             (float_of_int s.Mcs_online.Engine.remapped_tasks
             /. float_of_int (max 1 resched));
+          Printf.sprintf "%d/%d/%d" s.Mcs_online.Engine.alloc_hits
+            s.Mcs_online.Engine.alloc_rescales s.Mcs_online.Engine.alloc_misses;
           Printf.sprintf "%.1f ms" (wall *. 1e3);
           Printf.sprintf "%.2f ms" (wall *. 1e3 /. float_of_int (max 1 resched));
         ])
     [ 2; 4; 6; 8; 10; 16 ];
-  Mcs_util.Table.print table
+  Mcs_util.Table.print table;
+  (* Regression floor for CI: the peak events/s of the sweep must clear
+     MCS_ONLINE_EVENTS_FLOOR when set (the committed CI value assumes
+     the allocation cache; see DESIGN.md section 14). *)
+  match Sys.getenv_opt "MCS_ONLINE_EVENTS_FLOOR" with
+  | None -> ()
+  | Some v ->
+    let floor_rate = float_of_string v in
+    if !peak_rate < floor_rate then begin
+      Printf.eprintf "online: peak %.0f events/s below floor %.0f\n" !peak_rate
+        floor_rate;
+      exit 1
+    end;
+    Printf.printf "online: peak %.0f events/s clears floor %.0f\n\n%!"
+      !peak_rate floor_rate
 
 (* ---------- Serving engine (serve table + BENCH_serve.json) ---------- *)
 
@@ -466,6 +535,25 @@ let emit_pipeline_baseline () =
         (String.concat " " missing);
       exit 1
     end;
+    (* Counters get the same coverage guarantee as phases: every name
+       registered in [Mcs_obs.Names] must appear in the committed
+       baseline (the offline + online + faulted + serve runs above are
+       chosen to touch them all). *)
+    let counters_present =
+      match Jsonx.member "counters" doc with
+      | Some (Jsonx.Obj kvs) -> List.map fst kvs
+      | Some _ | None -> []
+    in
+    let missing_counters =
+      List.filter
+        (fun c -> not (List.mem c counters_present))
+        Names.counter_names
+    in
+    if missing_counters <> [] then begin
+      Printf.eprintf "%s: missing counters: %s\n" pipeline_baseline_file
+        (String.concat " " missing_counters);
+      exit 1
+    end;
     let large_present =
       match Jsonx.get_list "large_phases" doc with
       | None -> []
@@ -540,6 +628,38 @@ let run_compare ref_path cur_path =
   in
   check_section "phases";
   check_section "large_phases";
+  (* Cache-effectiveness gate: a build whose allocation cache never
+     hits has silently fallen back to scratch allocation — that can
+     hide inside the 30% wall-clock tolerance on fast runners, so the
+     counters are checked directly. Only active when the reference
+     profile itself exercised the cache. *)
+  let counter key doc =
+    match Jsonx.member "counters" doc with
+    | Some (Jsonx.Obj kvs) -> (
+      match List.assoc_opt key kvs with
+      | Some (Jsonx.Num n) -> Some (int_of_float n)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  let served doc =
+    match
+      (counter "alloc.cache.hits" doc, counter "alloc.cache.rescales" doc)
+    with
+    | Some h, Some r -> Some (h + r)
+    | _ -> None
+  in
+  (match (served ref_doc, served cur_doc) with
+  | Some ref_served, cur_served when ref_served > 0 ->
+    (match cur_served with
+    | Some c when c > 0 ->
+      Printf.printf "ok   counters/alloc.cache: %d served from cache\n" c
+    | Some _ | None ->
+      incr failures;
+      Printf.printf
+        "FAIL counters/alloc.cache: reference served %d allocations from \
+         cache, current none\n"
+        ref_served)
+  | _ -> ());
   if !failures > 0 then begin
     Printf.printf "%d phase(s) regressed beyond %.0f%%\n" !failures
       (100. *. compare_tolerance);

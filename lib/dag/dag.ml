@@ -4,6 +4,7 @@ type t = {
   succ : (int * int) array array;      (* node -> (dst, edge id), sorted by dst *)
   pred : (int * int) array array;      (* node -> (src, edge id), sorted by src *)
   topo : int array;                    (* cached topological order *)
+  pos : int array;                     (* node -> its index in [topo] *)
   level : int array;                   (* cached precedence levels *)
 }
 
@@ -110,8 +111,10 @@ let of_edges ~n edge_list =
   let succ = Array.map finalize (Array.map (fun x -> x) succ) in
   let pred = Array.map finalize (Array.map (fun x -> x) pred) in
   let topo = compute_topo n succ pred in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) topo;
   let level = compute_levels n topo pred in
-  { n; edges; succ; pred; topo; level }
+  { n; edges; succ; pred; topo; pos; level }
 
 let edge_id t ~src ~dst =
   if src < 0 || src >= t.n then None
@@ -164,8 +167,10 @@ let max_width t =
     Array.fold_left max 0 counts
   end
 
-let top_levels t ~node_weight ~edge_weight =
-  let tl = Array.make t.n 0. in
+let top_levels_into t ~node_weight ~edge_weight tl =
+  if Array.length tl < t.n then
+    invalid_arg "Dag.top_levels_into: buffer shorter than node count";
+  Array.fill tl 0 t.n 0.;
   Array.iter
     (fun v ->
       Array.iter
@@ -173,11 +178,16 @@ let top_levels t ~node_weight ~edge_weight =
           let via = tl.(u) +. node_weight u +. edge_weight e in
           if via > tl.(v) then tl.(v) <- via)
         t.pred.(v))
-    t.topo;
+    t.topo
+
+let top_levels t ~node_weight ~edge_weight =
+  let tl = Array.make t.n 0. in
+  top_levels_into t ~node_weight ~edge_weight tl;
   tl
 
-let bottom_levels t ~node_weight ~edge_weight =
-  let bl = Array.make t.n 0. in
+let bottom_levels_into t ~node_weight ~edge_weight bl =
+  if Array.length bl < t.n then
+    invalid_arg "Dag.bottom_levels_into: buffer shorter than node count";
   for i = t.n - 1 downto 0 do
     let v = t.topo.(i) in
     let best = ref 0. in
@@ -187,8 +197,105 @@ let bottom_levels t ~node_weight ~edge_weight =
         if via > !best then best := via)
       t.succ.(v);
     bl.(v) <- node_weight v +. !best
-  done;
+  done
+
+let bottom_levels t ~node_weight ~edge_weight =
+  let bl = Array.make t.n 0. in
+  bottom_levels_into t ~node_weight ~edge_weight bl;
   bl
+
+(* Incremental repair after a single node weight changed. A node's
+   level only moves when the changed node's own entry, or a
+   successor/predecessor whose level already moved, feeds its max — so
+   the repair recomputes exactly the nodes a [dirty] flag reaches,
+   walking the cached topological order so every recomputation sees
+   finalised inputs. Recomputed values use the same max-fold over the
+   same operands as the full pass, and untouched nodes keep values
+   computed from identical inputs, so the repaired array is
+   bit-identical to a full recomputation. The [dirty] scratch must be
+   all-zero on entry and is restored to all-zero (every flagged node is
+   visited by the scan, which clears it). *)
+
+let bottom_levels_update t ~node_weight ~edge_weight ~changed ~dirty bl =
+  if Bytes.length dirty < t.n then
+    invalid_arg "Dag.bottom_levels_update: dirty scratch shorter than nodes";
+  let recompute v =
+    let best = ref 0. in
+    Array.iter
+      (fun (w, e) ->
+        let via = edge_weight e +. bl.(w) in
+        if via > !best then best := via)
+      t.succ.(v);
+    node_weight v +. !best
+  in
+  let nv = recompute changed in
+  if nv <> bl.(changed) then begin
+    bl.(changed) <- nv;
+    (* Predecessors all sit strictly before [changed] in topological
+       order, so the scan starts just below it; an outstanding-mark
+       count lets it stop as soon as the wave dies out, making the
+       repair cost proportional to the affected cone's topo span. *)
+    let pending = ref 0 in
+    let mark u =
+      if Bytes.unsafe_get dirty u = '\000' then begin
+        Bytes.unsafe_set dirty u '\001';
+        incr pending
+      end
+    in
+    Array.iter (fun (u, _) -> mark u) t.pred.(changed);
+    let i = ref (t.pos.(changed) - 1) in
+    while !pending > 0 do
+      let v = t.topo.(!i) in
+      if Bytes.unsafe_get dirty v = '\001' then begin
+        Bytes.unsafe_set dirty v '\000';
+        decr pending;
+        let nv = recompute v in
+        if nv <> bl.(v) then begin
+          bl.(v) <- nv;
+          Array.iter (fun (u, _) -> mark u) t.pred.(v)
+        end
+      end;
+      decr i
+    done
+  end
+
+let top_levels_update t ~node_weight ~edge_weight ~changed ~dirty tl =
+  if Bytes.length dirty < t.n then
+    invalid_arg "Dag.top_levels_update: dirty scratch shorter than nodes";
+  let recompute v =
+    let best = ref 0. in
+    Array.iter
+      (fun (u, e) ->
+        let via = tl.(u) +. node_weight u +. edge_weight e in
+        if via > !best then best := via)
+      t.pred.(v);
+    !best
+  in
+  (* [changed]'s own top level excludes its weight, so repair starts at
+     its successors (whose max folds read the changed weight), which
+     all sit strictly after it in topological order. *)
+  let pending = ref 0 in
+  let mark s =
+    if Bytes.unsafe_get dirty s = '\000' then begin
+      Bytes.unsafe_set dirty s '\001';
+      incr pending
+    end
+  in
+  Array.iter (fun (s, _) -> mark s) t.succ.(changed);
+  let i = ref (t.pos.(changed) + 1) in
+  while !pending > 0 do
+    let v = t.topo.(!i) in
+    if Bytes.unsafe_get dirty v = '\001' then begin
+      Bytes.unsafe_set dirty v '\000';
+      decr pending;
+      let nv = recompute v in
+      if nv <> tl.(v) then begin
+        tl.(v) <- nv;
+        Array.iter (fun (s, _) -> mark s) t.succ.(v)
+      end
+    end;
+    incr i
+  done
 
 let longest_path t ~node_weight ~edge_weight =
   if t.n = 0 then (0., [])

@@ -7,6 +7,7 @@ let phases =
     ("pipeline.schedule", "two-step schedule of one concurrent batch");
     ("pipeline.allocation", "beta determination + per-PTG allocation step");
     ("alloc.scrap", "one SCRAP(-MAX) allocation loop over one PTG");
+    ("alloc.cache", "one cached allocation lookup (hit/rescale/miss)");
     ("mapper.run", "concurrent list mapping of one application batch");
     ("mapper.prepare", "mapper state setup: topo ranks, bottom levels");
     ("mapper.place", "placement of one ready task (search over clusters)");
@@ -26,6 +27,11 @@ let counters =
   [
     ("alloc.calls", "SCRAP(-MAX) allocation procedures run");
     ("alloc.increments", "+1-processor increments across allocation loops");
+    ( "alloc.cache.hits",
+      "cached allocations served as-is (same cap, budget and stop power)" );
+    ( "alloc.cache.rescales",
+      "cached trajectories replayed under a moved beta (same cap)" );
+    ("alloc.cache.misses", "cache lookups that fell back to a scratch run");
     ("mapper.tasks_mapped", "task placements committed by the list mapper");
     ("mapper.packing_attempts", "shrunk-allocation candidates evaluated");
     ("mapper.packing_wins", "packing candidates that beat the full allocation");

@@ -3,6 +3,7 @@ module Schedule = Mcs_sched.Schedule
 module Pipeline = Mcs_sched.Pipeline
 module List_mapper = Mcs_sched.List_mapper
 module Allocation = Mcs_sched.Allocation
+module Strategy = Mcs_sched.Strategy
 module Reference_cluster = Mcs_sched.Reference_cluster
 module Fault = Mcs_fault.Fault
 module Fault_check = Mcs_check.Fault_check
@@ -26,6 +27,9 @@ type stats = {
   kills : int;
   task_failures : int;
   fault_events : int;
+  alloc_hits : int;
+  alloc_rescales : int;
+  alloc_misses : int;
 }
 
 type result = {
@@ -176,8 +180,37 @@ let reschedule s ~trigger =
     in
     let up_counts = if degraded then Some (State.up_counts state) else None in
     let prepared =
-      Pipeline.prepare ~config:s.policy.Policy.config ?ref_cluster ?up_counts
-        ~strategy:s.policy.Policy.strategy s.platform ptgs
+      if s.policy.Policy.alloc_cache then (
+        (* Incremental path: identical betas (degradation preserves the
+           reference speed), allocations served from each application's
+           trajectory cache on the engine's shared arena. Bit-identical
+           to [Pipeline.prepare] by construction — the differential
+           tests run both and compare. *)
+        Obs.with_span "pipeline.allocation" @@ fun () ->
+        let rc =
+          match ref_cluster with
+          | Some r -> r
+          | None -> state.State.ref_cluster
+        in
+        let betas =
+          Strategy.betas s.policy.Policy.strategy
+            ~ref_speed:rc.Reference_cluster.speed ptgs
+        in
+        let allocations =
+          Array.of_list
+            (List.mapi
+               (fun j app ->
+                 Allocation.allocate_cached
+                   ~procedure:s.policy.Policy.config.Pipeline.procedure
+                   ?up_counts ~cache:app.State.alloc_cache
+                   ~arena:state.State.arena rc s.platform ~beta:betas.(j)
+                   app.State.ptg)
+               active)
+        in
+        { Pipeline.betas; allocations })
+      else
+        Pipeline.prepare ~config:s.policy.Policy.config ?ref_cluster ?up_counts
+          ~strategy:s.policy.Policy.strategy s.platform ptgs
     in
     List.iteri
       (fun j app -> app.State.beta <- prepared.Pipeline.betas.(j))
@@ -430,6 +463,9 @@ let handle s ev trigger =
         (Printf.sprintf "Engine: departure of app %d with unplaced tasks" i);
     app.State.status <- State.Completed;
     app.State.completion <- ev.Event_queue.time;
+    (* The application will never be allocated again: free its cached
+       trajectories (the lifetime statistics survive the clear). *)
+    Allocation.cache_clear app.State.alloc_cache;
     state.State.active_apps <- state.State.active_apps - 1;
     state.State.completed_apps <- state.State.completed_apps + 1;
     s.emit
@@ -541,6 +577,9 @@ let result s =
          ~down s.platform ~ptgs executions)
   | (Some _ | None), _ -> ());
   let apps = state.State.apps in
+  let alloc_hits, alloc_rescales, alloc_misses =
+    State.alloc_cache_stats state
+  in
   {
     schedules = State.schedules state;
     betas = Array.map (fun app -> app.State.beta) apps;
@@ -557,6 +596,9 @@ let result s =
         kills = state.State.kills;
         task_failures = state.State.task_failures;
         fault_events = state.State.fault_events;
+        alloc_hits;
+        alloc_rescales;
+        alloc_misses;
       };
   }
 

@@ -68,6 +68,9 @@ type stats = {
   kills : int;             (** attempts killed by processor outages *)
   task_failures : int;     (** transient failures observed *)
   fault_events : int;      (** outage/recovery events processed *)
+  alloc_hits : int;        (** allocation-cache exact hits (same β) *)
+  alloc_rescales : int;    (** cache hits served by β-rescale replay *)
+  alloc_misses : int;      (** scratch allocation runs (new cache key) *)
 }
 
 type result = {

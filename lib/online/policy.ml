@@ -12,11 +12,12 @@ type t = {
   config : Mcs_sched.Pipeline.config;
   reschedule_on_departure : bool;
   reschedule_on_task_finish : bool;
+  alloc_cache : bool;
   faults : fault_policy;
 }
 
 let make ?(config = Mcs_sched.Pipeline.default_config)
-    ?(faults = default_faults) strategy =
+    ?(faults = default_faults) ?(alloc_cache = true) strategy =
   if faults.max_retries < 0 then
     invalid_arg "Policy.make: negative max_retries";
   if Float.is_nan faults.backoff_base || faults.backoff_base < 0. then
@@ -26,8 +27,10 @@ let make ?(config = Mcs_sched.Pipeline.default_config)
     config;
     reschedule_on_departure = true;
     reschedule_on_task_finish = false;
+    alloc_cache;
     faults;
   }
 
-let static ?config ?faults strategy =
-  { (make ?config ?faults strategy) with reschedule_on_departure = false }
+let static ?config ?faults ?alloc_cache strategy =
+  { (make ?config ?faults ?alloc_cache strategy) with
+    reschedule_on_departure = false }

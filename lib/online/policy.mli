@@ -43,19 +43,27 @@ type t = {
   config : Mcs_sched.Pipeline.config;
   reschedule_on_departure : bool;
   reschedule_on_task_finish : bool;
+  alloc_cache : bool;
+      (** serve allocations from the per-application trajectory cache
+          ({!Mcs_sched.Allocation.allocate_cached}). Bit-identical to
+          the scratch path by construction; the switch exists so the
+          differential tests can run both and compare. On by default. *)
   faults : fault_policy;
 }
 
 val make :
   ?config:Mcs_sched.Pipeline.config ->
   ?faults:fault_policy ->
+  ?alloc_cache:bool ->
   Mcs_sched.Strategy.t -> t
 (** Dynamic-β policy: reschedule on arrivals and departures.
+    [alloc_cache] defaults to [true].
     @raise Invalid_argument on a negative [max_retries] or an
     ill-formed [backoff_base]. *)
 
 val static :
   ?config:Mcs_sched.Pipeline.config ->
   ?faults:fault_policy ->
+  ?alloc_cache:bool ->
   Mcs_sched.Strategy.t -> t
 (** Arrival-only rescheduling (no departure/task-finish triggers). *)

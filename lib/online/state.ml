@@ -17,6 +17,7 @@ type app = {
   failures : int array;
   retry_at : float array;
   committed : bool array;
+  alloc_cache : Mcs_sched.Allocation.cache;
 }
 
 type t = {
@@ -30,6 +31,7 @@ type t = {
   mutable active_apps : int;
   mutable completed_apps : int;
   mutable peak_active : int;
+  arena : Mcs_sched.Alloc_arena.t;
   proc_up : bool array;
   ledger : Timeline.t;
   mutable executions : Mcs_check.Fault_check.execution list;
@@ -53,6 +55,7 @@ let make_app index ptg release =
     failures = Array.make n 0;
     retry_at = Array.make n 0.;
     committed = Array.make n false;
+    alloc_cache = Mcs_sched.Allocation.cache_create ();
   }
 
 let create platform apps =
@@ -71,6 +74,7 @@ let create platform apps =
     active_apps = 0;
     completed_apps = 0;
     peak_active = 0;
+    arena = Mcs_sched.Alloc_arena.create ();
     proc_up = Array.make (P.total_procs platform) true;
     ledger = Timeline.create ~procs:(P.total_procs platform);
     executions = [];
@@ -118,6 +122,15 @@ let proc_avail t =
           app.placements)
     t.apps;
   avail
+
+let alloc_cache_stats t =
+  Array.fold_left
+    (fun (h, r, m) app ->
+      let s = Mcs_sched.Allocation.cache_stats app.alloc_cache in
+      ( h + s.Mcs_sched.Allocation.hits,
+        r + s.Mcs_sched.Allocation.rescales,
+        m + s.Mcs_sched.Allocation.misses ))
+    (0, 0, 0) t.apps
 
 let up_counts t = P.up_counts t.platform ~up:t.proc_up
 let up_power t = P.up_power t.platform ~up:t.proc_up

@@ -30,6 +30,10 @@ type app = {
   failures : int array;  (** transient failures per node, cumulative *)
   retry_at : float array;  (** backoff floor: node may not start before *)
   committed : bool array;  (** placement currently reserved in the ledger *)
+  alloc_cache : Mcs_sched.Allocation.cache;
+      (** per-application allocation-trajectory cache; consulted only
+          when the policy's [alloc_cache] switch is on, cleared on
+          departure *)
 }
 
 type t = {
@@ -43,6 +47,10 @@ type t = {
   mutable active_apps : int;  (** arrived, not completed — O(1) gauge *)
   mutable completed_apps : int;
   mutable peak_active : int;  (** high-water mark of [active_apps] *)
+  arena : Mcs_sched.Alloc_arena.t;
+      (** scratch buffers for the allocation loop, reused across every
+          reschedule of this engine — single-owner, so one engine (and
+          hence one serving shard) never shares it across domains *)
   proc_up : bool array;  (** liveness per global processor id *)
   ledger : Mcs_util.Timeline.t;  (** started placements, fault runs only *)
   mutable executions : Mcs_check.Fault_check.execution list;
@@ -77,6 +85,12 @@ val proc_avail : t -> float array
     the [avail] profile for partial rescheduling. Processors without
     running work are free from [now] (mapping into the past is
     impossible either way). *)
+
+val alloc_cache_stats : t -> int * int * int
+(** Summed [(hits, rescales, misses)] of every application's allocation
+    cache (lifetime counts — they survive the departure-time
+    {!Mcs_sched.Allocation.cache_clear}). All zero when the engine runs
+    with the cache disabled. *)
 
 val up_counts : t -> int array
 (** Live processors per cluster under the current [proc_up] mask. *)

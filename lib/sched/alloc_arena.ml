@@ -1,0 +1,58 @@
+(* Reusable scratch arrays for the SCRAP(-MAX) allocation loop. One
+   arena per engine (or per serving shard, each shard's engine owning
+   its own on its own domain): the loop's per-iteration buffers are
+   allocated once and grown monotonically to the largest PTG seen, so a
+   steady-state reschedule performs no per-call buffer allocation. *)
+
+type t = {
+  mutable bl : float array;  (* bottom levels, one slot per DAG node *)
+  mutable tl : float array;  (* top levels *)
+  mutable usage : int array;  (* per-level allocated reference procs *)
+  mutable exec : float array;  (* per-node execution time estimate *)
+  mutable procs : int array;  (* per-node allocation being built *)
+  mutable seq : float array;  (* per-node sequential time on the ref speed *)
+  mutable alpha : float array;  (* per-node Amdahl serial fraction *)
+  mutable gain : float array;  (* per-node gain of one more processor *)
+  mutable dirty : Bytes.t;  (* level-repair scratch, all-zero between uses *)
+}
+
+let create () =
+  {
+    bl = [||];
+    tl = [||];
+    usage = [||];
+    exec = [||];
+    procs = [||];
+    seq = [||];
+    alpha = [||];
+    gain = [||];
+    dirty = Bytes.empty;
+  }
+
+let grow_floats a n = if Array.length a >= n then a else Array.make n 0.
+let grow_ints a n = if Array.length a >= n then a else Array.make n 0
+
+(* The buffers are only ever read on indices the caller re-initialises,
+   so growth never needs to preserve contents. *)
+let reserve t ~nodes ~levels =
+  t.bl <- grow_floats t.bl nodes;
+  t.tl <- grow_floats t.tl nodes;
+  t.exec <- grow_floats t.exec nodes;
+  t.procs <- grow_ints t.procs nodes;
+  t.usage <- grow_ints t.usage levels;
+  t.seq <- grow_floats t.seq nodes;
+  t.alpha <- grow_floats t.alpha nodes;
+  t.gain <- grow_floats t.gain nodes;
+  if Bytes.length t.dirty < nodes then t.dirty <- Bytes.make nodes '\000'
+
+let bl t = t.bl
+let tl t = t.tl
+let usage t = t.usage
+let exec t = t.exec
+let procs t = t.procs
+let seq t = t.seq
+let alpha t = t.alpha
+let gain t = t.gain
+let dirty t = t.dirty
+
+let capacity t = Array.length t.bl

@@ -1,0 +1,70 @@
+(** Reusable scratch for the SCRAP(-MAX) allocation loop.
+
+    {!Allocation.allocate} is the hot path of online rescheduling: it
+    runs once per active application per generation, and every
+    iteration of its inner loop walks bottom/top levels and per-level
+    usage arrays sized by the PTG. An arena owns those buffers and
+    reuses them across calls, so steady-state reschedules allocate
+    O(changed applications) instead of O(active) · O(nodes) scratch
+    words.
+
+    An arena is single-owner mutable state: it must never be shared
+    across domains. The online engine embeds one per
+    {!Mcs_online.State.t}, and the serving layer therefore gets one per
+    shard for free (each shard's engine lives on its own domain). Pure
+    offline callers can keep using {!Allocation.allocate}, which spins
+    up a private arena per call. *)
+
+type t
+(** A set of growable scratch buffers. Buffers grow monotonically to
+    the largest PTG seen and are re-initialised by each allocation
+    call; an arena holds no allocation state between calls. *)
+
+val create : unit -> t
+(** Fresh arena with empty buffers (they are sized on first use). *)
+
+val reserve : t -> nodes:int -> levels:int -> unit
+(** Ensure every buffer can hold [nodes] node slots and [levels]
+    precedence-level slots. Growth discards contents (callers
+    re-initialise the prefix they use). *)
+
+val bl : t -> float array
+(** Bottom-level buffer (≥ [nodes] slots after {!reserve}). *)
+
+val tl : t -> float array
+(** Top-level buffer (≥ [nodes] slots after {!reserve}). *)
+
+val usage : t -> int array
+(** Per-precedence-level usage buffer (≥ [levels] slots). *)
+
+val exec : t -> float array
+(** Per-node execution-time buffer (≥ [nodes] slots). *)
+
+val procs : t -> int array
+(** Per-node allocation buffer (≥ [nodes] slots). *)
+
+val seq : t -> float array
+(** Per-node sequential-time buffer (≥ [nodes] slots): the task's
+    execution time on one reference processor, precomputed once per
+    allocation call so the inner loop prices candidate increments with
+    two float operations instead of re-deriving the task's flop count
+    (a [pow]/[log] per call) every time. *)
+
+val alpha : t -> float array
+(** Per-node Amdahl serial-fraction buffer (≥ [nodes] slots),
+    precomputed alongside {!seq}. *)
+
+val gain : t -> float array
+(** Per-node buffer for the gain of granting one more processor
+    (≥ [nodes] slots). A node's gain only moves when its own allocation
+    does, so the loop prices each node once per increment it receives
+    instead of once per candidate scan. *)
+
+val dirty : t -> Bytes.t
+(** Scratch for {!Mcs_dag.Dag.bottom_levels_update} /
+    [top_levels_update] (≥ [nodes] bytes). Unlike the other buffers it
+    carries an invariant {e between} uses: all-zero, which the repair
+    functions restore before returning. *)
+
+val capacity : t -> int
+(** Current node capacity (0 for a fresh arena) — exposed for tests. *)

@@ -16,9 +16,39 @@
     - {b SCRAP-MAX} enforces it per precedence level: for every level,
       [Σ_{v at level} p_v ≤ max(1 task each, ⌊β·procs⌋)], so that
       concurrently-ready tasks of one level can always run side by
-      side within the PTG's power share. *)
+      side within the PTG's power share.
+
+    {2 Incremental allocation}
+
+    Online rescheduling runs this procedure once per active application
+    per generation, which made it the dominant cost of the engine
+    (DESIGN.md §14). Two mechanisms remove that cost without changing a
+    single allocation:
+
+    - {b arenas} ({!Alloc_arena.t}): {!allocate_into} reuses
+      caller-owned scratch buffers across calls, so the loop itself
+      performs no per-call buffer allocation;
+    - {b caching} ({!allocate_cached}): the increment trajectory of the
+      loop depends on β only through the {e integer} per-level budget
+      [⌊β·procs⌋] (and the allocation cap), while β proper only decides
+      {e where along that trajectory} the CPA stop criterion fires. A
+      per-application cache records trajectories keyed by cap, each step
+      annotated with the {e budget interval} under which its choice is
+      provably what a scratch run would choose (the usage the choice
+      consumed at its level, up to the smallest budget that would have
+      unblocked a better candidate). A request replays the recorded
+      stop tests and interval checks — bit-identical to a scratch run
+      by construction, at O(nodes + steps) instead of
+      O(steps · (nodes + edges)) — and a request whose budget escapes
+      some step's interval {e forks}: the validated prefix is copied in
+      O(nodes + steps) and only the divergent tail runs live. Online
+      budgets drift a few processors per generation, so forks diverge
+      deep and tails stay short. *)
 
 type procedure = Scrap | Scrap_max
+(** Which resource constraint bounds the increment loop: the global
+    average-power criterion ([Scrap]) or the per-precedence-level
+    budget on top of it ([Scrap_max], the paper's default). *)
 
 type result = {
   procs : int array;        (** reference processors per DAG node *)
@@ -26,6 +56,8 @@ type result = {
   critical_path : float;    (** final critical path length, seconds *)
   average_area : float;     (** final T_A against the β share *)
 }
+(** Outcome of one allocation. [procs] is indexed by DAG node; virtual
+    entry/exit nodes keep one processor and zero cost. *)
 
 val allocate :
   ?procedure:procedure ->
@@ -41,19 +73,102 @@ val allocate :
     {!Reference_cluster.max_allocation} so every task fits in at least
     one real cluster — against the surviving processors only when
     [up_counts] is given (degraded platform; see
-    {!Mcs_platform.Platform.up_counts}).
+    {!Mcs_platform.Platform.up_counts}). Pure: allocates its own
+    scratch; offline callers and one-shot uses should prefer it.
     @raise Invalid_argument unless [0 < beta <= 1]. *)
+
+val allocate_into :
+  ?procedure:procedure ->
+  ?up_counts:int array ->
+  arena:Alloc_arena.t ->
+  Reference_cluster.t ->
+  Mcs_platform.Platform.t ->
+  beta:float ->
+  Mcs_ptg.Ptg.t ->
+  result
+(** Exactly {!allocate}, but running the loop on the arena's reusable
+    scratch buffers instead of fresh arrays — same result, field for
+    field, with no per-call buffer allocation beyond the returned
+    [procs]. The arena is single-owner state: never share one across
+    domains (each serving shard owns its own through its engine).
+    @raise Invalid_argument unless [0 < beta <= 1]. *)
+
+type cache
+(** Per-application allocation cache: materialised increment
+    trajectories keyed by allocation cap, every step carrying its
+    validity interval over per-level budgets, with an MRU bound on
+    retained trajectories. A cache binds to the first PTG, procedure
+    and reference speed it serves and rejects any other — everything
+    else an allocation depends on (β, the reference-cluster size, the
+    degraded cap) is checked at replay time, which is how
+    degraded-platform generations get correct results from the same
+    cache: their different cap selects different trajectories. *)
+
+type stats = {
+  hits : int;      (** same cap, same budget and stop power as the last
+                       request the entry served (β alone is not enough —
+                       on a degraded reference cluster the same β means
+                       a different ⌊β·procs⌋): cached result as-is *)
+  rescales : int;  (** β moved: a recorded trajectory replayed (and
+                       possibly extended) under the new budget *)
+  misses : int;    (** no trajectory survived replay: a live run was
+                       needed — forked off the deepest validated prefix
+                       when one exists, fully from scratch otherwise *)
+}
+(** Cumulative outcome counts of {!allocate_cached} calls. Survives
+    {!cache_clear} (the counts describe the cache's lifetime, not its
+    current contents). *)
+
+val cache_create : unit -> cache
+(** Fresh empty cache. One per application per engine. *)
+
+val cache_clear : cache -> unit
+(** Drop every entry (the application departed, or the caller wants the
+    memory back). Statistics are kept; the next call is a miss. *)
+
+val cache_stats : cache -> stats
+(** Lifetime hit/rescale/miss counts. *)
+
+val cache_entry_count : cache -> int
+(** Number of trajectories currently materialised — bounded by a small
+    internal MRU limit. *)
+
+val allocate_cached :
+  ?procedure:procedure ->
+  ?up_counts:int array ->
+  cache:cache ->
+  arena:Alloc_arena.t ->
+  Reference_cluster.t ->
+  Mcs_platform.Platform.t ->
+  beta:float ->
+  Mcs_ptg.Ptg.t ->
+  result
+(** Cached {!allocate}: bit-identical results — the same [procs],
+    [iterations], [critical_path] and [average_area], float for float —
+    at a fraction of the cost whenever a recorded trajectory's budget
+    intervals cover the request, and at the cost of only the divergent
+    tail otherwise. The returned [procs] array is owned by the cache on
+    the exact-hit path and must not be mutated by the caller (the
+    engine's shrink-on-retry derives a copy). Updates the
+    [alloc.cache.*] observability counters.
+    @raise Invalid_argument unless [0 < beta <= 1], or if the cache is
+    reused with a different PTG, procedure or reference speed. *)
 
 val budget_of : Reference_cluster.t -> beta:float -> int
 (** [max 1 ⌊β·procs⌋] — the per-level reference-processor budget of
     SCRAP-MAX (Eq. 2). The floor is epsilon-guarded so a product landing
     one ulp below an integer (0.57 × 100 = 56.999999999999993) does not
     silently drop a processor. Every consumer of the level budget (the
-    allocator and the invariant checker) must use this one definition. *)
+    allocator, the invariant checker and the allocation cache key) must
+    use this one definition. *)
 
 val level_usage : Mcs_ptg.Ptg.t -> int array -> int array
 (** Total reference processors allocated per precedence level (virtual
     nodes excluded) — used to audit constraint satisfaction. *)
+
+val level_population : Mcs_ptg.Ptg.t -> int array
+(** Number of real (non-virtual) tasks per precedence level — the
+    population floor of the level constraint. *)
 
 val respects_level_constraint :
   Reference_cluster.t -> beta:float -> Mcs_ptg.Ptg.t -> int array -> bool

@@ -23,7 +23,16 @@
     A handed-off application is admitted at
     [max (quantised release) (receiver's now)] — the receiver may have
     advanced past the release; the extra wait is admission latency and
-    shows up in the response time, never as time travel. *)
+    shows up in the response time, never as time travel.
+
+    Ownership extends below the session: the engine state inside it
+    carries an {!Mcs_sched.Alloc_arena.t} and one allocation cache per
+    application ({!Mcs_sched.Allocation.allocate_cached}), both
+    single-owner mutable scratch. Because the shard alone steps its
+    session, that scratch is confined to the shard's domain for free —
+    no shard ever allocates against another shard's arena, and a
+    hand-off re-primes the receiver's cache rather than sharing the
+    sender's. *)
 
 type msg = {
   global : int;  (** submission index across the whole service *)
@@ -67,6 +76,8 @@ val set_peers : t -> t array -> unit
 (** Install the full shard array (self included) — hand-off targets. *)
 
 val queue : t -> msg Squeue.t
+(** The shard's mailbox. Producers (router, peers) push; only the
+    owning shard drains. *)
 
 val hb_done : t -> Hb.sync
 (** Happens-before sync released by {!finish}: after [Domain.join],
@@ -74,6 +85,8 @@ val hb_done : t -> Hb.sync
     profile; no-op when the tracker is disabled). *)
 
 val index : t -> int
+(** Position of this shard in the service's shard array. *)
+
 val load : t -> float
 (** Live in-flight gauge: GFlop injected minus GFlop departed.
     Readable from any domain. *)

@@ -211,6 +211,43 @@ let qcheck_bottom_levels_monotone =
       done;
       !ok)
 
+let qcheck_level_repair_bit_identical =
+  QCheck.Test.make
+    ~name:"bottom/top level repair ≡ full recomputation after weight changes"
+    ~count:100 (QCheck.make random_dag_gen) (fun params ->
+      let g = build_random params in
+      let n = Dag.node_count g in
+      let rng = Mcs_prng.Prng.create ~seed:(1 + (n * 31)) in
+      let w = Array.init n (fun v -> 1. +. float_of_int (v mod 7)) in
+      let nw v = w.(v) in
+      let ew _ = 0.25 in
+      let bl = Dag.bottom_levels g ~node_weight:nw ~edge_weight:ew in
+      let tl = Dag.top_levels g ~node_weight:nw ~edge_weight:ew in
+      let dirty = Bytes.make n '\000' in
+      let ok = ref true in
+      (* A run of single-node weight changes, each repaired in place and
+         compared bit for bit against a from-scratch pass — decreases
+         mimic the allocation loop, increases stress the other
+         direction of the max folds. *)
+      for _ = 1 to 20 do
+        let v = Mcs_prng.Prng.int rng n in
+        w.(v) <- w.(v) *. (if Mcs_prng.Prng.bernoulli rng ~p:0.7 then 0.8 else 1.3);
+        Dag.bottom_levels_update g ~node_weight:nw ~edge_weight:ew ~changed:v
+          ~dirty bl;
+        Dag.top_levels_update g ~node_weight:nw ~edge_weight:ew ~changed:v
+          ~dirty tl;
+        let bl' = Dag.bottom_levels g ~node_weight:nw ~edge_weight:ew in
+        let tl' = Dag.top_levels g ~node_weight:nw ~edge_weight:ew in
+        for u = 0 to n - 1 do
+          if not (Float.equal bl.(u) bl'.(u) && Float.equal tl.(u) tl'.(u))
+          then ok := false
+        done;
+        (* The repair functions must leave the scratch all-zero. *)
+        if String.exists (fun c -> c <> '\000') (Bytes.to_string dirty) then
+          ok := false
+      done;
+      !ok)
+
 let qcheck_longest_path_is_max =
   QCheck.Test.make
     ~name:"longest path equals max over nodes of tl + node weight + bl"
@@ -264,6 +301,7 @@ let suite =
         QCheck_alcotest.to_alcotest qcheck_topo_valid;
         QCheck_alcotest.to_alcotest qcheck_levels_consistent;
         QCheck_alcotest.to_alcotest qcheck_bottom_levels_monotone;
+        QCheck_alcotest.to_alcotest qcheck_level_repair_bit_identical;
         QCheck_alcotest.to_alcotest qcheck_longest_path_is_max;
       ] );
   ]

@@ -188,6 +188,176 @@ let qcheck_allocation_capped =
       let result = Allocation.allocate r p ~beta:1. ptg in
       Array.for_all (fun a -> a >= 1 && a <= cap) result.Allocation.procs)
 
+(* ---------- Allocation cache ---------- *)
+
+(* The cache's contract is bit-identity: every field of a served result
+   must equal a scratch run's float for float, whichever of the
+   hit/rescale/fork/scratch paths produced it. *)
+let check_alloc_equal msg (scratch : Allocation.result)
+    (cached : Allocation.result) =
+  Alcotest.(check (array int))
+    (msg ^ ": procs") scratch.Allocation.procs cached.Allocation.procs;
+  Alcotest.(check int)
+    (msg ^ ": iterations") scratch.Allocation.iterations
+    cached.Allocation.iterations;
+  Alcotest.(check bool)
+    (msg ^ ": critical path bit-equal") true
+    (Float.equal scratch.Allocation.critical_path
+       cached.Allocation.critical_path);
+  Alcotest.(check bool)
+    (msg ^ ": average area bit-equal") true
+    (Float.equal scratch.Allocation.average_area
+       cached.Allocation.average_area)
+
+(* Descending budgets force divergence-and-fork, ascending ones force
+   extension, repeats take the exact-hit path — one sweep crosses every
+   serving path of the cache. *)
+let cache_beta_sweep =
+  [ 1.0; 0.8; 0.6; 0.45; 0.3; 0.2; 0.1; 0.15; 0.25; 0.4; 0.55; 0.7; 0.9;
+    1.0; 0.1; 0.2 ]
+
+let test_cache_matches_scratch_sweep () =
+  let p = Grid5000.rennes () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:60 11 in
+  let cache = Allocation.cache_create () in
+  let arena = Alloc_arena.create () in
+  List.iter
+    (fun beta ->
+      let cached = Allocation.allocate_cached ~cache ~arena r p ~beta ptg in
+      let scratch = Allocation.allocate r p ~beta ptg in
+      check_alloc_equal (Printf.sprintf "beta=%g" beta) scratch cached)
+    cache_beta_sweep;
+  let s = Allocation.cache_stats cache in
+  Alcotest.(check bool)
+    "all outcomes accounted" true
+    (s.Allocation.hits + s.Allocation.rescales + s.Allocation.misses
+    = List.length cache_beta_sweep);
+  Alcotest.(check bool) "repeats hit" true (s.Allocation.hits >= 2)
+
+let test_cache_matches_scratch_scrap () =
+  let p = Grid5000.rennes () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:40 13 in
+  let cache = Allocation.cache_create () in
+  let arena = Alloc_arena.create () in
+  List.iter
+    (fun beta ->
+      let cached =
+        Allocation.allocate_cached ~procedure:Allocation.Scrap ~cache ~arena r
+          p ~beta ptg
+      in
+      let scratch =
+        Allocation.allocate ~procedure:Allocation.Scrap r p ~beta ptg
+      in
+      check_alloc_equal (Printf.sprintf "scrap beta=%g" beta) scratch cached)
+    cache_beta_sweep
+
+let test_cache_matches_scratch_degraded () =
+  (* Degraded generations (outage survivors) lower the allocation cap;
+     the cache must serve both caps, interleaved, from one instance. *)
+  let p = toy_platform ~procs:32 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:30 17 in
+  let cache = Allocation.cache_create () in
+  let arena = Alloc_arena.create () in
+  List.iter
+    (fun (up_counts, beta) ->
+      let cached =
+        Allocation.allocate_cached ?up_counts ~cache ~arena r p ~beta ptg
+      in
+      let scratch = Allocation.allocate ?up_counts r p ~beta ptg in
+      check_alloc_equal
+        (Printf.sprintf "degraded=%b beta=%g" (up_counts <> None) beta)
+        scratch cached)
+    [
+      (None, 0.5); (Some [| 6 |], 0.5); (None, 0.5); (Some [| 6 |], 0.8);
+      (Some [| 3 |], 0.8); (None, 1.0); (Some [| 6 |], 0.3); (None, 0.3);
+    ]
+
+let test_cache_entry_bound () =
+  let p = Grid5000.rennes () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:30 19 in
+  let cache = Allocation.cache_create () in
+  let arena = Alloc_arena.create () in
+  List.iter
+    (fun beta ->
+      ignore (Allocation.allocate_cached ~cache ~arena r p ~beta ptg))
+    (List.init 25 (fun i -> 1. -. (float_of_int i /. 30.)));
+  Alcotest.(check bool)
+    "entry count within MRU bound" true
+    (Allocation.cache_entry_count cache <= 8);
+  Allocation.cache_clear cache;
+  Alcotest.(check int) "clear empties" 0 (Allocation.cache_entry_count cache);
+  let s = Allocation.cache_stats cache in
+  Alcotest.(check bool)
+    "stats survive clear" true
+    (s.Allocation.hits + s.Allocation.rescales + s.Allocation.misses = 25)
+
+let test_cache_binding_guards () =
+  let p = toy_platform ~procs:8 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:10 23 in
+  let arena = Alloc_arena.create () in
+  let rejected f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  let fresh () =
+    let cache = Allocation.cache_create () in
+    ignore (Allocation.allocate_cached ~cache ~arena r p ~beta:0.5 ptg);
+    cache
+  in
+  let cache = fresh () in
+  Alcotest.(check bool)
+    "PTG change rejected" true
+    (rejected (fun () ->
+         Allocation.allocate_cached ~cache ~arena r p ~beta:0.5
+           (random_ptg ~tasks:10 24)));
+  let cache = fresh () in
+  Alcotest.(check bool)
+    "procedure change rejected" true
+    (rejected (fun () ->
+         Allocation.allocate_cached ~procedure:Allocation.Scrap ~cache ~arena
+           r p ~beta:0.5 ptg));
+  let cache = fresh () in
+  let p2 = toy_platform ~procs:8 ~gflops:2. () in
+  let r2 = Reference_cluster.of_platform p2 in
+  Alcotest.(check bool)
+    "reference speed change rejected" true
+    (rejected (fun () ->
+         Allocation.allocate_cached ~cache ~arena r2 p2 ~beta:0.5 ptg))
+
+let qcheck_cache_differential =
+  QCheck.Test.make
+    ~name:"allocate_cached ≡ allocate over random β streams" ~count:25
+    QCheck.(
+      pair (int_range 0 5000)
+        (list_of_size (Gen.int_range 1 10)
+           (oneofl [ 0.1; 0.17; 0.25; 0.33; 0.5; 0.62; 0.75; 0.9; 1.0 ])))
+    (fun (seed, betas) ->
+      let p = Grid5000.lille () in
+      let r = Reference_cluster.of_platform p in
+      let ptg = random_ptg seed in
+      let cache = Allocation.cache_create () in
+      let arena = Alloc_arena.create () in
+      List.for_all
+        (fun beta ->
+          let cached = Allocation.allocate_cached ~cache ~arena r p ~beta ptg in
+          let scratch = Allocation.allocate r p ~beta ptg in
+          cached.Allocation.procs = scratch.Allocation.procs
+          && cached.Allocation.iterations = scratch.Allocation.iterations
+          && Float.equal cached.Allocation.critical_path
+               scratch.Allocation.critical_path
+          && Float.equal cached.Allocation.average_area
+               scratch.Allocation.average_area
+          && Allocation.respects_level_constraint r ~beta ptg
+               cached.Allocation.procs)
+        betas)
+
 (* ---------- Strategy ---------- *)
 
 let sample_ptgs () = [ random_ptg 1; random_ptg 2; random_ptg ~tasks:50 3 ]
@@ -724,6 +894,19 @@ let suite =
           test_budget_of_regression;
         QCheck_alcotest.to_alcotest qcheck_scrap_max_levels;
         QCheck_alcotest.to_alcotest qcheck_allocation_capped;
+      ] );
+    ( "sched.alloc_cache",
+      [
+        Alcotest.test_case "sweep ≡ scratch" `Quick
+          test_cache_matches_scratch_sweep;
+        Alcotest.test_case "scrap ≡ scratch" `Quick
+          test_cache_matches_scratch_scrap;
+        Alcotest.test_case "degraded caps ≡ scratch" `Quick
+          test_cache_matches_scratch_degraded;
+        Alcotest.test_case "entry bound & clear" `Quick
+          test_cache_entry_bound;
+        Alcotest.test_case "binding guards" `Quick test_cache_binding_guards;
+        QCheck_alcotest.to_alcotest qcheck_cache_differential;
       ] );
     ( "sched.strategy",
       [
