@@ -37,9 +37,10 @@ let write_file path contents =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let run site strategy family count seed mean_interarrival static csv json
-    gantt check faults mttf mttr task_fail_p granularity horizon max_retries
-    backoff shrink profile profile_format =
+let run site strategy family count seed mean_interarrival static finish_resched
+    kernel_name checkpoint swap_at swap_to what_if what_if_at csv json gantt
+    check faults mttf mttr task_fail_p granularity horizon max_retries backoff
+    shrink profile profile_format =
   Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
@@ -100,14 +101,23 @@ let run site strategy family count seed mean_interarrival static csv json
   in
   let policy =
     match
-      if static then Policy.static ~faults:fault_policy strategy
-      else Policy.make ~faults:fault_policy strategy
+      Policy.make ~faults:fault_policy
+        ~reschedule_on_departure:(not static)
+        ~reschedule_on_task_finish:finish_resched strategy
     with
     | p -> p
     | exception Invalid_argument m ->
       prerr_endline m;
       exit 2
   in
+  let kernel_of name =
+    match Mcs_online.Policy_kernel.of_name name ~base:policy with
+    | k -> k
+    | exception Invalid_argument m ->
+      prerr_endline m;
+      exit 2
+  in
+  let kernel = kernel_of kernel_name in
   let log e = print_endline (Log.to_json e) in
   (* With --check, every reschedule generation is audited by the
      invariant analyzer; violations are reported and fail the run. *)
@@ -119,10 +129,53 @@ let run site strategy family count seed mean_interarrival static csv json
     violations :=
       !violations + List.length (Mcs_check.Diagnostic.errors diags)
   in
+  let check_sink = if check then Some checker else None in
+  (* The session runs through an ordered list of mid-run interventions,
+     each applied once its virtual time is reached: a checkpoint (the
+     session is snapshotted, dropped, and the run continues on the
+     restored copy — output identical to an uninterrupted run, which CI
+     diffs), a policy swap ([set_kernel] with an immediate remap), and
+     a what-if speculation (adopt the candidate kernel only if the
+     cloned trial improves the makespan). *)
+  let actions =
+    List.sort (fun (a, _) (b, _) -> Float.compare a b)
+      ((match checkpoint with Some t -> [ (t, `Checkpoint) ] | None -> [])
+      @ (match swap_at with Some t -> [ (t, `Swap) ] | None -> [])
+      @
+      match what_if with Some n -> [ (what_if_at, `What_if n) ] | None -> [])
+  in
   let r =
-    Engine.run ~log
-      ?check:(if check then Some checker else None)
-      ?faults:fault_scenario ~policy platform apps
+    match
+      let session =
+        ref
+          (Engine.create ~log ?check:check_sink ?faults:fault_scenario ~kernel
+             ~policy platform apps)
+      in
+      List.iter
+        (fun (time, action) ->
+          Engine.advance ~upto:time !session;
+          match action with
+          | `Checkpoint ->
+            let snap = Engine.snapshot !session in
+            session := Engine.restore ~log ?check:check_sink snap;
+            Printf.eprintf "checkpoint/restore at t=%g\n" time
+          | `Swap ->
+            Engine.set_kernel ~reschedule:true !session (kernel_of swap_to);
+            Printf.eprintf "policy swap to %s at t=%g\n" swap_to time
+          | `What_if name ->
+            let sp = Engine.what_if !session (kernel_of name) in
+            Printf.eprintf
+              "what-if %s at t=%g: baseline=%.17g candidate=%.17g %s\n" name
+              time sp.Engine.baseline_makespan sp.Engine.candidate_makespan
+              (if sp.Engine.adopted then "adopted" else "kept incumbent"))
+        actions;
+      Engine.advance !session;
+      Engine.result !session
+    with
+    | r -> r
+    | exception Invalid_argument m ->
+      prerr_endline m;
+      exit 2
   in
   if !violations > 0 then begin
     Printf.eprintf "invariant check: %d errors\n" !violations;
@@ -199,6 +252,50 @@ let static =
   Arg.(value & flag
        & info [ "static" ]
            ~doc:"recompute beta on arrivals only (no departure backfilling)")
+
+let finish_resched =
+  Arg.(value & flag
+       & info [ "reschedule-on-finish" ]
+           ~doc:
+             "reschedule on every task finish as well as on departures \
+              (rejected when combined with --static)")
+
+let kernel_name =
+  Arg.(value & opt string "default"
+       & info [ "policy" ]
+           ~doc:
+             (Printf.sprintf "policy kernel governing the engine: %s"
+                (String.concat ", " Mcs_online.Policy_kernel.names)))
+
+let checkpoint =
+  Arg.(value & opt (some float) None
+       & info [ "checkpoint" ]
+           ~doc:
+             "snapshot the engine at this virtual time and continue on the \
+              restored copy — the output is bit-identical to an \
+              uninterrupted run (CI diffs it)")
+
+let swap_at =
+  Arg.(value & opt (some float) None
+       & info [ "swap-at" ]
+           ~doc:
+             "swap the active policy kernel to --swap-to at this virtual \
+              time (with an immediate remap, logged as 'policy_swap')")
+
+let swap_to =
+  Arg.(value & opt string "eager"
+       & info [ "swap-to" ] ~doc:"kernel name --swap-at switches to")
+
+let what_if =
+  Arg.(value & opt (some string) None
+       & info [ "what-if" ]
+           ~doc:
+             "speculatively try this kernel at --what-if-at on a cloned \
+              session and adopt it only if it improves the makespan")
+
+let what_if_at =
+  Arg.(value & opt float 0.
+       & info [ "what-if-at" ] ~doc:"virtual time of the --what-if trial")
 
 let csv =
   Arg.(value & opt (some string) None
@@ -279,8 +376,9 @@ let cmd =
     (Cmd.info "mcs_online" ~doc)
     Term.(
       const run $ site $ strategy $ family $ count $ seed $ mean_interarrival
-      $ static $ csv $ json $ gantt $ check $ faults $ mttf $ mttr
-      $ task_fail_p $ granularity $ horizon $ max_retries $ backoff $ shrink
-      $ Obs_cli.profile $ Obs_cli.profile_format)
+      $ static $ finish_resched $ kernel_name $ checkpoint $ swap_at
+      $ swap_to $ what_if $ what_if_at $ csv $ json $ gantt $ check $ faults
+      $ mttf $ mttr $ task_fail_p $ granularity $ horizon $ max_retries
+      $ backoff $ shrink $ Obs_cli.profile $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

@@ -42,8 +42,9 @@ let die msg =
   exit 2
 
 let run site shards inline count seed mean_interarrival family strategy
-    dynamic router window capacity reject shed_above rate check faults mttf
-    mttr task_fail_p log_path profile profile_format =
+    dynamic finish_resched kernel checkpoint_every kill_shard kill_after
+    router window capacity reject shed_above rate check faults mttf mttr
+    task_fail_p log_path profile profile_format =
   Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
@@ -58,7 +59,15 @@ let run site shards inline count seed mean_interarrival family strategy
     match Router.choice_of_string router with Ok r -> r | Error m -> die m
   in
   let policy =
-    if dynamic then Policy.make strategy else Policy.static strategy
+    match
+      if finish_resched then
+        Policy.make ~reschedule_on_departure:true
+          ~reschedule_on_task_finish:true strategy
+      else if dynamic then Policy.make strategy
+      else Policy.static strategy
+    with
+    | p -> p
+    | exception Invalid_argument m -> die m
   in
   let admission =
     {
@@ -75,6 +84,12 @@ let run site shards inline count seed mean_interarrival family strategy
       router;
       admission;
       policy;
+      kernel;
+      checkpoint_every;
+      kill =
+        (match kill_shard with
+        | Some k -> Some (k, kill_after)
+        | None -> None);
       capture_logs = log_path <> None;
       check;
       faults =
@@ -108,14 +123,14 @@ let run site shards inline count seed mean_interarrival family strategy
         "{\"event\":\"shard\",\"shard\":%d,\"clusters\":[%s],\"apps\":%d,\
          \"events\":%d,\"reschedules\":%d,\"peak_active\":%d,\
          \"queue_peak\":%d,\"handoffs_in\":%d,\"handoffs_out\":%d,\
-         \"violations\":%d}\n"
+         \"restores\":%d,\"violations\":%d}\n"
         r.Shard.shard
         (join string_of_int (Array.to_list r.Shard.clusters))
         (Array.length r.Shard.global_ids)
         r.Shard.engine.Engine.stats.Engine.events_processed
         r.Shard.engine.Engine.stats.Engine.reschedules r.Shard.peak_active
         r.Shard.queue_peak r.Shard.handoffs_in r.Shard.handoffs_out
-        r.Shard.violations)
+        r.Shard.restores r.Shard.violations)
     report.Service.shards;
   let p p_ = Stats.percentile report.Service.responses ~p:p_ in
   let makespan =
@@ -131,7 +146,7 @@ let run site shards inline count seed mean_interarrival family strategy
      \"mode\":\"%s\",\"router\":\"%s\",\"strategy\":\"%s\",\
      \"submitted\":%d,\"admitted\":%d,\"rejected\":%d,\"handoffs\":%d,\
      \"peak_active\":%d,\"events\":%d,\"reschedules\":%d,\"remapped\":%d,\
-     \"violations\":%d,\"wall_s\":%.6f,\"submissions_per_s\":%.1f,\
+     \"restores\":%d,\"violations\":%d,\"wall_s\":%.6f,\"submissions_per_s\":%.1f,\
      \"events_per_s\":%.1f,\"p50_response\":%.17g,\"p99_response\":%.17g,\
      \"virtual_makespan\":%.17g}\n"
     site shards
@@ -143,7 +158,7 @@ let run site shards inline count seed mean_interarrival family strategy
     (Strategy.name strategy) report.Service.submitted report.Service.admitted
     report.Service.rejected report.Service.handoffs report.Service.peak_active
     report.Service.events report.Service.reschedules report.Service.remapped
-    report.Service.violations report.Service.wall_s
+    report.Service.restores report.Service.violations report.Service.wall_s
     (float_of_int report.Service.admitted /. report.Service.wall_s)
     (float_of_int report.Service.events /. report.Service.wall_s)
     (p 0.50) (p 0.99) makespan;
@@ -204,6 +219,42 @@ let dynamic =
            ~doc:
              "reschedule on departures too (the serving default is \
               arrival-only: static beta per generation)")
+
+let finish_resched =
+  Arg.(value & flag
+       & info [ "reschedule-on-finish" ]
+           ~doc:
+             "reschedule on every task finish as well as on departures \
+              (implies the dynamic departure policy; the most reactive — \
+              and most expensive — built-in policy)")
+
+let kernel =
+  Arg.(value & opt string "default"
+       & info [ "policy" ]
+           ~doc:
+             (Printf.sprintf "policy kernel governing each shard's engine: %s"
+                (String.concat ", " Mcs_online.Policy_kernel.names)))
+
+let checkpoint_every =
+  Arg.(value & opt int 0
+       & info [ "checkpoint-every" ]
+           ~doc:
+             "checkpoint each shard every N injections (engine snapshot + \
+              injection journal; 0 = off) — enables crash recovery")
+
+let kill_shard =
+  Arg.(value & opt (some int) None
+       & info [ "kill-shard" ]
+           ~doc:
+             "fault-tolerance drill: kill this shard's serving domain \
+              mid-stream and restore it from its latest checkpoint (the \
+              recovered merged log is bit-identical to the no-kill run \
+              when shedding is off)")
+
+let kill_after =
+  Arg.(value & opt int 0
+       & info [ "kill-after" ]
+           ~doc:"injections the killed shard absorbs before it dies")
 
 let router =
   Arg.(value & opt string "work"
@@ -286,8 +337,9 @@ let cmd =
     (Cmd.info "mcs_serve" ~doc)
     Term.(
       const run $ site $ shards $ inline $ count $ seed $ mean_interarrival
-      $ family $ strategy $ dynamic $ router $ window $ capacity $ reject
-      $ shed_above $ rate $ check $ faults $ mttf $ mttr $ task_fail_p
-      $ log_path $ Obs_cli.profile $ Obs_cli.profile_format)
+      $ family $ strategy $ dynamic $ finish_resched $ kernel
+      $ checkpoint_every $ kill_shard $ kill_after $ router $ window
+      $ capacity $ reject $ shed_above $ rate $ check $ faults $ mttf $ mttr
+      $ task_fail_p $ log_path $ Obs_cli.profile $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

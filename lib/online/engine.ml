@@ -44,7 +44,8 @@ type result = {
 type session = {
   st : State.t;
   q : Event_queue.t;
-  policy : Policy.t;
+  mutable kernel : Policy_kernel.t;
+      (** the one active policy object; swappable mid-run *)
   platform : P.t;
   faults : Fault.scenario option;
   fault_on : bool;
@@ -53,9 +54,13 @@ type session = {
   mutable processed : int;
 }
 
-(* Trigger merging for a batch of simultaneous events: fault events and
-   arrivals always force a reschedule; a departure or task finish only
-   per policy. The label of the merged batch is its strongest cause. *)
+let policy s = s.kernel.Policy_kernel.policy
+
+(* Trigger merging for a batch of simultaneous events: every event
+   kind asks the active kernel whether it forces a reschedule (arrivals
+   and fault events do under every kernel this repo ships — see the
+   {!Policy_kernel} contract). The label of the merged batch is its
+   strongest cause. *)
 let trigger_rank = function
   | "proc_down" -> 5
   | "proc_up" -> 4
@@ -77,7 +82,8 @@ let will_fail s app v =
   match s.faults with
   | Some sc
     when sc.Fault.config.Fault.task_fail_p > 0.
-         && app.State.failures.(v) < s.policy.Policy.faults.Policy.max_retries
+         && app.State.failures.(v)
+            < (policy s).Policy.faults.Policy.max_retries
     ->
     Fault.roll_failure sc ~app:app.State.index ~node:v
       ~attempt:app.State.failures.(v)
@@ -180,7 +186,7 @@ let reschedule s ~trigger =
     in
     let up_counts = if degraded then Some (State.up_counts state) else None in
     let prepared =
-      if s.policy.Policy.alloc_cache then (
+      if (policy s).Policy.alloc_cache then (
         (* Incremental path: identical betas (degradation preserves the
            reference speed), allocations served from each application's
            trajectory cache on the engine's shared arena. Bit-identical
@@ -193,7 +199,7 @@ let reschedule s ~trigger =
           | None -> state.State.ref_cluster
         in
         let betas =
-          Strategy.betas s.policy.Policy.strategy
+          Strategy.betas (policy s).Policy.strategy
             ~ref_speed:rc.Reference_cluster.speed ptgs
         in
         let allocations =
@@ -201,7 +207,7 @@ let reschedule s ~trigger =
             (List.mapi
                (fun j app ->
                  Allocation.allocate_cached
-                   ~procedure:s.policy.Policy.config.Pipeline.procedure
+                   ~procedure:(policy s).Policy.config.Pipeline.procedure
                    ?up_counts ~cache:app.State.alloc_cache
                    ~arena:state.State.arena rc s.platform ~beta:betas.(j)
                    app.State.ptg)
@@ -209,26 +215,33 @@ let reschedule s ~trigger =
         in
         { Pipeline.betas; allocations })
       else
-        Pipeline.prepare ~config:s.policy.Policy.config ?ref_cluster ?up_counts
-          ~strategy:s.policy.Policy.strategy s.platform ptgs
+        Pipeline.prepare ~config:(policy s).Policy.config ?ref_cluster ?up_counts
+          ~strategy:(policy s).Policy.strategy s.platform ptgs
     in
     List.iteri
-      (fun j app -> app.State.beta <- prepared.Pipeline.betas.(j))
+      (fun j app ->
+        app.State.beta <- prepared.Pipeline.betas.(j);
+        (* Remember the generation's reference allocation per app: the
+           mid-run audit replays the ALLOC rules against it. Copied —
+           the cache owns the array on its exact-hit path. *)
+        app.State.last_alloc <-
+          Array.copy prepared.Pipeline.allocations.(j).Allocation.procs)
       active;
     let inputs =
       List.mapi
         (fun j app ->
           let procs = prepared.Pipeline.allocations.(j).Allocation.procs in
           let procs =
-            if s.fault_on && s.policy.Policy.faults.Policy.shrink_on_retry then
-              (* Halve a task's allocation per transient failure:
-                 smaller retries pack earlier on a degraded platform.
+            if s.fault_on && Policy_kernel.shrinks s.kernel then
+              (* Shrink retried tasks per the kernel (the default
+                 halves the allocation per transient failure: smaller
+                 retries pack earlier on a degraded platform).
                  Allocations of pinned tasks are ignored by the
                  mapper, so shrinking them is inert. *)
               Array.mapi
                 (fun v p ->
-                  let k = app.State.failures.(v) in
-                  if k > 0 then max 1 (p asr min k 30) else p)
+                  Policy_kernel.shrink s.kernel ~failures:app.State.failures.(v)
+                    ~procs:p)
                 procs
             else procs
           in
@@ -247,7 +260,7 @@ let reschedule s ~trigger =
       else None
     in
     let schedules =
-      List_mapper.run ~options:s.policy.Policy.config.Pipeline.mapper ~release
+      List_mapper.run ~options:(policy s).Policy.config.Pipeline.mapper ~release
         ~pinned ~avail ?up ?task_floor s.platform
         (match ref_cluster with
         | Some r -> r
@@ -294,8 +307,8 @@ let reschedule s ~trigger =
         (Mcs_check.Online_check.analyze s.platform
            {
              Mcs_check.Online_check.now = state.State.now;
-             strategy = s.policy.Policy.strategy;
-             procedure = s.policy.Policy.config.Pipeline.procedure;
+             strategy = (policy s).Policy.strategy;
+             procedure = (policy s).Policy.config.Pipeline.procedure;
              apps = snap_apps;
            }));
     state.State.version <- state.State.version + 1;
@@ -303,6 +316,10 @@ let reschedule s ~trigger =
     state.State.remapped_tasks <- state.State.remapped_tasks + remapped;
     Obs.incr c_reschedules;
     Obs.incr ~by:remapped c_remapped;
+    (* Per-kernel attribution: an A/B swap reads these to compare how
+       much work each policy object triggered. *)
+    Obs.incr s.kernel.Policy_kernel.c_reschedules;
+    Obs.incr ~by:remapped s.kernel.Policy_kernel.c_remapped;
     if s.fault_on then State.commit_started state;
     announce s;
     s.emit
@@ -352,13 +369,14 @@ let handle s ev trigger =
            name = app.State.ptg.Ptg.name;
            tasks = Ptg.task_count app.State.ptg;
          });
-    trigger := merge_trigger !trigger "arrival"
+    if Policy_kernel.wants s.kernel Policy_kernel.Arrival then
+      trigger := merge_trigger !trigger "arrival"
   | Event_queue.Task_finish { app = i; node } ->
     let app = state.State.apps.(i) in
     State.record_execution state app node (placement_of s "finish" i node)
       ~finish:ev.Event_queue.time ~outcome:Fault_check.Completed;
     s.emit (Log.Task_finish { time = ev.Event_queue.time; app = i; node });
-    if s.policy.Policy.reschedule_on_task_finish then
+    if Policy_kernel.wants s.kernel Policy_kernel.Task_finish then
       trigger := merge_trigger !trigger "task_finish"
   | Event_queue.Task_failed { app = i; node } ->
     Obs.enter "online.fault";
@@ -396,14 +414,13 @@ let handle s ev trigger =
       app.State.placements;
     let k = app.State.failures.(node) in
     app.State.retry_at.(node) <-
-      ev.Event_queue.time
-      +. (s.policy.Policy.faults.Policy.backoff_base
-         *. Float.pow 2. (float_of_int (k - 1)));
+      ev.Event_queue.time +. Policy_kernel.backoff s.kernel ~failures:k;
     s.emit
       (Log.Task_failed
          { time = ev.Event_queue.time; app = i; node; failures = k });
     Obs.leave ();
-    trigger := merge_trigger !trigger "task_failed"
+    if Policy_kernel.wants s.kernel Policy_kernel.Task_failed then
+      trigger := merge_trigger !trigger "task_failed"
   | Event_queue.Proc_down procs ->
     Obs.enter "online.fault";
     state.State.fault_events <- state.State.fault_events + 1;
@@ -447,7 +464,8 @@ let handle s ev trigger =
             app.State.placements)
       state.State.apps;
     Obs.leave ();
-    trigger := merge_trigger !trigger "proc_down"
+    if Policy_kernel.wants s.kernel Policy_kernel.Proc_down then
+      trigger := merge_trigger !trigger "proc_down"
   | Event_queue.Proc_up procs ->
     Obs.enter "online.fault";
     state.State.fault_events <- state.State.fault_events + 1;
@@ -455,7 +473,8 @@ let handle s ev trigger =
     Array.iter (fun p -> state.State.proc_up.(p) <- true) procs;
     s.emit (Log.Proc_up { time = ev.Event_queue.time; procs });
     Obs.leave ();
-    trigger := merge_trigger !trigger "proc_up"
+    if Policy_kernel.wants s.kernel Policy_kernel.Proc_up then
+      trigger := merge_trigger !trigger "proc_up"
   | Event_queue.Departure i ->
     let app = state.State.apps.(i) in
     if Array.exists Option.is_none app.State.placements then
@@ -465,7 +484,7 @@ let handle s ev trigger =
     app.State.completion <- ev.Event_queue.time;
     (* The application will never be allocated again: free its cached
        trajectories (the lifetime statistics survive the clear). *)
-    Allocation.cache_clear app.State.alloc_cache;
+    Allocation.cache_release app.State.alloc_cache;
     state.State.active_apps <- state.State.active_apps - 1;
     state.State.completed_apps <- state.State.completed_apps + 1;
     s.emit
@@ -475,17 +494,20 @@ let handle s ev trigger =
            app = i;
            response = ev.Event_queue.time -. app.State.release;
          });
-    if s.policy.Policy.reschedule_on_departure then
+    if Policy_kernel.wants s.kernel Policy_kernel.Departure then
       trigger := merge_trigger !trigger "departure");
   Obs.leave ()
 
-let create ?log ?check ?faults ~policy platform apps =
+let create ?log ?check ?faults ?kernel ~policy platform apps =
   (match faults with Some sc -> Fault.validate sc.Fault.config | None -> ());
+  let kernel =
+    match kernel with Some k -> k | None -> Policy_kernel.default policy
+  in
   let s =
     {
       st = State.create platform apps;
       q = Event_queue.create ();
-      policy;
+      kernel;
       platform;
       faults;
       fault_on = faults <> None;
@@ -526,6 +548,107 @@ let active_count s = s.st.State.active_apps
 let peak_active s = s.st.State.peak_active
 let app_count s = Array.length s.st.State.apps
 let in_service s = Array.length s.st.State.apps - s.st.State.completed_apps
+let kernel s = s.kernel
+let kernel_name s = s.kernel.Policy_kernel.name
+
+let app_completed s i =
+  if i < 0 || i >= Array.length s.st.State.apps then
+    invalid_arg "Engine.app_completed: no such application";
+  s.st.State.apps.(i).State.status = State.Completed
+
+let alloc_cache_stats s = State.alloc_cache_stats s.st
+
+let force_reschedule = reschedule
+
+let set_kernel ?(reschedule = false) s k =
+  (* A kernel carrying a different allocation procedure invalidates
+     every cached trajectory (each cache binds to the procedure that
+     recorded it): release them all here rather than trip the bind
+     guard on the next allocation. β/strategy changes need nothing —
+     the budget is part of the replay key. *)
+  if
+    (policy s).Policy.config.Pipeline.procedure
+    <> k.Policy_kernel.policy.Policy.config.Pipeline.procedure
+  then
+    Array.iter
+      (fun app -> Allocation.cache_release app.State.alloc_cache)
+      s.st.State.apps;
+  s.kernel <- k;
+  if reschedule then force_reschedule s ~trigger:"policy_swap"
+
+type snapshot = {
+  snap_state : State.t;
+  snap_queue : Event_queue.t;
+  snap_kernel : Policy_kernel.t;
+  snap_faults : Fault.scenario option;
+  snap_processed : int;
+}
+
+(* Both directions deep-copy, so one snapshot value can seed any number
+   of restores and is never aliased by a live session. The kernel and
+   fault scenario are shared: the kernel is an immutable record of
+   closures, and the scenario is immutable with pre-rolled (pure)
+   failure outcomes — there is no mutable PRNG stream to clone. *)
+let snapshot s =
+  {
+    snap_state = State.copy s.st;
+    snap_queue = Event_queue.copy s.q;
+    snap_kernel = s.kernel;
+    snap_faults = s.faults;
+    snap_processed = s.processed;
+  }
+
+let restore ?log ?check snap =
+  {
+    st = State.copy snap.snap_state;
+    q = Event_queue.copy snap.snap_queue;
+    kernel = snap.snap_kernel;
+    platform = snap.snap_state.State.platform;
+    faults = snap.snap_faults;
+    fault_on = snap.snap_faults <> None;
+    emit = (match log with Some f -> f | None -> fun _ -> ());
+    check;
+    processed = snap.snap_processed;
+  }
+
+let audit s =
+  let state = s.st in
+  match State.active state with
+  | [] -> []
+  | active ->
+    let auditable app =
+      Array.length app.State.last_alloc > 0
+      && Array.for_all Option.is_some app.State.placements
+    in
+    (* Mid-blackout (or before the first reschedule) some active app
+       has revoked placements: there is no generation to audit, and
+       auditing a subset would make the β-sum rules fire spuriously. *)
+    if not (List.for_all auditable active) then []
+    else begin
+      let snap_apps =
+        List.map
+          (fun app ->
+            {
+              Mcs_check.Online_check.index = app.State.index;
+              ptg = app.State.ptg;
+              release = app.State.release;
+              beta = app.State.beta;
+              alloc = app.State.last_alloc;
+              pinned = State.pinned_of state app;
+              schedule =
+                Schedule.make ~ptg:app.State.ptg
+                  ~placements:(Array.map Option.get app.State.placements);
+            })
+          active
+      in
+      Mcs_check.Online_check.analyze s.platform
+        {
+          Mcs_check.Online_check.now = state.State.now;
+          strategy = (policy s).Policy.strategy;
+          procedure = (policy s).Policy.config.Pipeline.procedure;
+          apps = snap_apps;
+        }
+    end
 
 let advance ?upto s =
   Obs.with_span "online.run" @@ fun () ->
@@ -563,6 +686,37 @@ let advance ?upto s =
   in
   loop ()
 
+type speculation = {
+  adopted : bool;
+  baseline_makespan : float;
+  candidate_makespan : float;
+}
+
+let makespan st =
+  Array.fold_left
+    (fun acc app ->
+      if Float.is_nan app.State.completion then acc
+      else Float.max acc app.State.completion)
+    0. st.State.apps
+
+(* Speculative A/B: clone twice, race the incumbent kernel against the
+   candidate over everything already queued, and adopt the candidate on
+   the live session only if it strictly improves the makespan. The
+   clones are silent (no log, no checker) and fully isolated, so the
+   speculation itself never perturbs the live run. *)
+let what_if s candidate =
+  Obs.with_span "online.what_if" @@ fun () ->
+  let baseline = restore (snapshot s) in
+  advance baseline;
+  let trial = restore (snapshot s) in
+  set_kernel ~reschedule:true trial candidate;
+  advance trial;
+  let baseline_makespan = makespan baseline.st in
+  let candidate_makespan = makespan trial.st in
+  let adopted = candidate_makespan +. Floatx.eps < baseline_makespan in
+  if adopted then set_kernel ~reschedule:true s candidate;
+  { adopted; baseline_makespan; candidate_makespan }
+
 let result s =
   let state = s.st in
   let executions = List.rev state.State.executions in
@@ -573,7 +727,7 @@ let result s =
     let ptgs = Array.map (fun app -> app.State.ptg) state.State.apps in
     let down = Fault.down_intervals sc ~procs:(P.total_procs s.platform) in
     f
-      (Fault_check.check ~max_retries:s.policy.Policy.faults.Policy.max_retries
+      (Fault_check.check ~max_retries:(policy s).Policy.faults.Policy.max_retries
          ~down s.platform ~ptgs executions)
   | (Some _ | None), _ -> ());
   let apps = state.State.apps in
@@ -602,8 +756,8 @@ let result s =
       };
   }
 
-let run ?log ?check ?faults ~policy platform apps =
+let run ?log ?check ?faults ?kernel ~policy platform apps =
   if apps = [] then invalid_arg "State.create: no applications";
-  let s = create ?log ?check ?faults ~policy platform apps in
+  let s = create ?log ?check ?faults ?kernel ~policy platform apps in
   advance s;
   result s

@@ -96,6 +96,7 @@ val create :
   ?log:(Log.event -> unit) ->
   ?check:(Mcs_check.Diagnostic.t list -> unit) ->
   ?faults:Mcs_fault.Fault.scenario ->
+  ?kernel:Policy_kernel.t ->
   policy:Policy.t ->
   Mcs_platform.Platform.t ->
   (Mcs_ptg.Ptg.t * float) list ->
@@ -103,8 +104,39 @@ val create :
 (** Fresh session over an initial (possibly empty) submission list:
     arrival events are queued for every listed application, outage and
     recovery events for the fault scenario, and nothing is processed
-    yet. @raise Invalid_argument on an ill-formed release time or fault
+    yet. The session's active kernel is [kernel] when given (its
+    embedded policy then governs every decision — the [policy] argument
+    is ignored in that case) and {!Policy_kernel.default}[ policy]
+    otherwise, which reproduces the pre-kernel engine bit for bit.
+    @raise Invalid_argument on an ill-formed release time or fault
     scenario. *)
+
+val kernel : session -> Policy_kernel.t
+(** The active policy kernel. *)
+
+val kernel_name : session -> string
+(** [Policy_kernel.name (kernel s)] — for reports and logs. *)
+
+val set_kernel : ?reschedule:bool -> session -> Policy_kernel.t -> unit
+(** Swap the active kernel at the session's current virtual time — the
+    engine consults the new kernel for every subsequent trigger,
+    backoff, shrink and allocation decision. If the new kernel's
+    allocation {e procedure} differs, every application's trajectory
+    cache is released first (trajectories are procedure-bound).
+    [reschedule] (default [false]) additionally forces an immediate
+    recomputation under the new kernel, logged with trigger
+    ["policy_swap"] — the live half of an adopted {!what_if}. *)
+
+val app_completed : session -> int -> bool
+(** Whether application [i] has completed — lets a serving shard
+    re-derive its in-flight load from restored engine state.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val alloc_cache_stats : session -> int * int * int
+(** Summed allocation-cache [(hits, rescales, misses)] across all
+    applications at this instant — the live view of the [alloc_*]
+    fields of {!stats}, observable mid-run (the departure-scoped cache
+    invalidation tests difference it around a departure). *)
 
 val submit : session -> Mcs_ptg.Ptg.t -> release:float -> at:float -> int
 (** [submit s ptg ~release ~at] appends one application and queues its
@@ -150,10 +182,71 @@ val in_service : session -> int
 val pending_events : session -> int
 (** Queued events, stale announcements included. *)
 
+type snapshot
+(** A deep, self-contained copy of a session's whole mutable world:
+    state (placements, fault bookkeeping, per-application allocation
+    caches, ledger, liveness mask), event queue (insertion sequence
+    included) and active kernel. Immutable structure is shared — PTGs
+    (the caches bind to them by physical equality), the kernel (a
+    record of closures) and the fault scenario (outage list plus a
+    {e pure} pre-rolled failure function of the seed; there is no
+    mutable PRNG stream to capture).
+
+    {b Bit-identity bar.} [restore (snapshot s)] continued to
+    quiescence replays the exact event log the uninterrupted [s] would
+    have produced — float for float, tiebreak for tiebreak, fault
+    scenarios included. The snapshot/restore qcheck property and the CI
+    checkpoint job enforce this. *)
+
+val snapshot : session -> snapshot
+(** Capture the session mid-run. O(state); the session is untouched and
+    the snapshot is immune to its further progress. *)
+
+val restore :
+  ?log:(Log.event -> unit) ->
+  ?check:(Mcs_check.Diagnostic.t list -> unit) ->
+  snapshot ->
+  session
+(** A fresh live session at the snapshot's instant, with fresh [log] /
+    [check] sinks (a restored shard re-wires its own). Deep-copies
+    again, so one snapshot can seed any number of restores. Gauges
+    ([active_count], {!peak_active}) are re-derived from the restored
+    statuses, never inherited from the (possibly crashed) source. *)
+
+val audit : session -> Mcs_check.Diagnostic.t list
+(** Run the static rule sets (DAG, ALLOC incl. the SCRAP-MAX level
+    budgets, MAP, and the ON pinning/β/time-travel rules) over the
+    session's {e current} scheduling state — each active application's
+    β, last reference allocation and full placement set at virtual time
+    [now]. Empty when clean, when nothing is active, or when some
+    active application has revoked placements (mid-blackout there is no
+    generation to audit). Meaningful on any quiescent-between-events
+    session; the snapshot/restore tests audit restored sessions with
+    it. Most useful under the default kernel, whose trigger set keeps β
+    current whenever the active set changes. *)
+
+type speculation = {
+  adopted : bool;  (** the candidate won and is now the live kernel *)
+  baseline_makespan : float;  (** incumbent kernel, clone run *)
+  candidate_makespan : float;  (** candidate kernel, clone run *)
+}
+
+val what_if : session -> Policy_kernel.t -> speculation
+(** Speculative rescheduling: clone the session twice
+    ({!snapshot}/{!restore}), run the incumbent kernel and the
+    candidate (the latter with an immediate ["policy_swap"] remap) to
+    quiescence over everything currently queued, and compare makespans
+    (latest completion). The candidate is adopted on the live session —
+    {!set_kernel} with an immediate remap — {e only} if it strictly
+    improves the makespan; otherwise the live session is left exactly
+    as it was. The clones are silent and isolated: no log, no checker,
+    no effect on the live run beyond the adoption decision. *)
+
 val run :
   ?log:(Log.event -> unit) ->
   ?check:(Mcs_check.Diagnostic.t list -> unit) ->
   ?faults:Mcs_fault.Fault.scenario ->
+  ?kernel:Policy_kernel.t ->
   policy:Policy.t ->
   Mcs_platform.Platform.t ->
   (Mcs_ptg.Ptg.t * float) list ->

@@ -58,6 +58,12 @@ type t = {
 
 let create () = { heap = Mcs_util.Heap.create ~cmp:entry_cmp; next_seq = 0 }
 
+(* Entries are immutable records, so sharing them across the copied
+   heap is safe; preserving [next_seq] keeps the insertion-sequence
+   tiebreak — and hence every future pop order — bit-identical between
+   the copy and the original. *)
+let copy t = { heap = Mcs_util.Heap.copy t.heap; next_seq = t.next_seq }
+
 let push t ~time ~version kind =
   if not (Float.is_finite time) || time < 0. then
     invalid_arg "Event_queue.push: ill-formed time";

@@ -45,6 +45,12 @@ type t
 val create : unit -> t
 (** Fresh empty queue with the insertion sequence at zero. *)
 
+val copy : t -> t
+(** Self-contained clone: same pending events, same insertion sequence.
+    Pushes and pops on either queue never affect the other, and — the
+    snapshot/restore contract — the clone pops the exact sequence the
+    original would, tiebreaks included. *)
+
 val push : t -> time:float -> version:int -> kind -> unit
 (** @raise Invalid_argument on a negative or non-finite time. *)
 

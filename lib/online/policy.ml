@@ -17,20 +17,30 @@ type t = {
 }
 
 let make ?(config = Mcs_sched.Pipeline.default_config)
-    ?(faults = default_faults) ?(alloc_cache = true) strategy =
+    ?(faults = default_faults) ?(alloc_cache = true)
+    ?(reschedule_on_departure = true) ?(reschedule_on_task_finish = false)
+    strategy =
   if faults.max_retries < 0 then
     invalid_arg "Policy.make: negative max_retries";
   if Float.is_nan faults.backoff_base || faults.backoff_base < 0. then
     invalid_arg "Policy.make: ill-formed backoff_base";
+  (* Validate the trigger combination here, once: task-finish triggers
+     subsume departures (a departure is the finish of the exit task),
+     so reacting to every finish while ignoring the completions that
+     free whole β shares is incoherent — reject it rather than let the
+     engine run a policy nobody can have meant. *)
+  if reschedule_on_task_finish && not reschedule_on_departure then
+    invalid_arg "Policy.make: reschedule_on_task_finish without \
+                 reschedule_on_departure";
   {
     strategy;
     config;
-    reschedule_on_departure = true;
-    reschedule_on_task_finish = false;
+    reschedule_on_departure;
+    reschedule_on_task_finish;
     alloc_cache;
     faults;
   }
 
 let static ?config ?faults ?alloc_cache strategy =
-  { (make ?config ?faults ?alloc_cache strategy) with
-    reschedule_on_departure = false }
+  make ?config ?faults ?alloc_cache ~reschedule_on_departure:false
+    ~reschedule_on_task_finish:false strategy

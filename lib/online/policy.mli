@@ -55,15 +55,23 @@ val make :
   ?config:Mcs_sched.Pipeline.config ->
   ?faults:fault_policy ->
   ?alloc_cache:bool ->
+  ?reschedule_on_departure:bool ->
+  ?reschedule_on_task_finish:bool ->
   Mcs_sched.Strategy.t -> t
-(** Dynamic-β policy: reschedule on arrivals and departures.
-    [alloc_cache] defaults to [true].
-    @raise Invalid_argument on a negative [max_retries] or an
-    ill-formed [backoff_base]. *)
+(** Dynamic-β policy. [alloc_cache] and [reschedule_on_departure]
+    default to [true], [reschedule_on_task_finish] to [false] — the
+    historical hardwired combination. Trigger combinations are
+    validated here, once: rescheduling on every task finish while
+    ignoring departures is rejected (a departure {e is} the finish of
+    the exit task, so the finer trigger subsumes the coarser one).
+    @raise Invalid_argument on a negative [max_retries], an ill-formed
+    [backoff_base], or [reschedule_on_task_finish] without
+    [reschedule_on_departure]. *)
 
 val static :
   ?config:Mcs_sched.Pipeline.config ->
   ?faults:fault_policy ->
   ?alloc_cache:bool ->
   Mcs_sched.Strategy.t -> t
-(** Arrival-only rescheduling (no departure/task-finish triggers). *)
+(** Arrival-only rescheduling —
+    [make ~reschedule_on_departure:false ~reschedule_on_task_finish:false]. *)

@@ -1,0 +1,110 @@
+module Obs = Mcs_obs.Obs
+
+type trigger =
+  | Arrival
+  | Departure
+  | Task_finish
+  | Task_failed
+  | Proc_down
+  | Proc_up
+
+let trigger_label = function
+  | Arrival -> "arrival"
+  | Departure -> "departure"
+  | Task_finish -> "task_finish"
+  | Task_failed -> "task_failed"
+  | Proc_down -> "proc_down"
+  | Proc_up -> "proc_up"
+
+type t = {
+  name : string;
+  policy : Policy.t;
+  reschedules_on : trigger -> bool;
+  backoff : failures:int -> float;
+  shrink : (failures:int -> procs:int -> int) option;
+  c_reschedules : Obs.counter;
+  c_remapped : Obs.counter;
+}
+
+(* Per-kernel counters are interned by kernel name, so two kernels of
+   the same name share them (that is the point: an A/B swap reports
+   "how much did each *policy* do", whichever instance was live). *)
+let counters name =
+  ( Obs.counter (Printf.sprintf "policy.%s.reschedules" name),
+    Obs.counter (Printf.sprintf "policy.%s.remapped" name) )
+
+let exponential_backoff policy ~failures =
+  policy.Policy.faults.Policy.backoff_base
+  *. Float.pow 2. (float_of_int (failures - 1))
+
+let halving_shrink ~failures ~procs =
+  if failures > 0 then max 1 (procs asr min failures 30) else procs
+
+let make ?(name = "custom") ?reschedules_on ?backoff ?shrink policy =
+  let reschedules_on =
+    match reschedules_on with
+    | Some f -> f
+    | None -> (
+      function
+      | Arrival | Task_failed | Proc_down | Proc_up -> true
+      | Departure -> policy.Policy.reschedule_on_departure
+      | Task_finish -> policy.Policy.reschedule_on_task_finish)
+  in
+  let backoff =
+    match backoff with
+    | Some f -> f
+    | None -> fun ~failures -> exponential_backoff policy ~failures
+  in
+  let shrink =
+    match shrink with
+    | Some _ as s -> s
+    | None ->
+      if policy.Policy.faults.Policy.shrink_on_retry then Some halving_shrink
+      else None
+  in
+  let c_reschedules, c_remapped = counters name in
+  { name; policy; reschedules_on; backoff; shrink; c_reschedules; c_remapped }
+
+let default policy = make ~name:"default" policy
+
+let wants t trigger = t.reschedules_on trigger
+let backoff t ~failures = t.backoff ~failures
+
+let shrink t ~failures ~procs =
+  match t.shrink with None -> procs | Some f -> f ~failures ~procs
+
+let shrinks t = t.shrink <> None
+
+(* The registry behind the CLIs' [--policy NAME]. Every named kernel is
+   derived from the caller's base policy, so strategy, mapper options
+   and fault budget carry over — the name only overrides the decision
+   closures (and, for [static]/[eager], the trigger set). *)
+let names = [ "default"; "static"; "eager"; "linear-backoff"; "shrink-retry" ]
+
+let of_name name ~base =
+  match name with
+  | "default" -> make ~name:"default" base
+  | "static" ->
+    make ~name:"static"
+      ~reschedules_on:(function
+        | Arrival | Task_failed | Proc_down | Proc_up -> true
+        | Departure | Task_finish -> false)
+      base
+  | "eager" ->
+    make ~name:"eager"
+      ~reschedules_on:(function
+        | Arrival | Departure | Task_finish | Task_failed | Proc_down
+        | Proc_up ->
+          true)
+      base
+  | "linear-backoff" ->
+    make ~name:"linear-backoff"
+      ~backoff:(fun ~failures ->
+        base.Policy.faults.Policy.backoff_base *. float_of_int failures)
+      base
+  | "shrink-retry" -> make ~name:"shrink-retry" ~shrink:halving_shrink base
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Policy_kernel.of_name: unknown kernel %S (expected %s)"
+         name
+         (String.concat ", " names))

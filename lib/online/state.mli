@@ -30,6 +30,10 @@ type app = {
   failures : int array;  (** transient failures per node, cumulative *)
   retry_at : float array;  (** backoff floor: node may not start before *)
   committed : bool array;  (** placement currently reserved in the ledger *)
+  mutable last_alloc : int array;
+      (** reference allocation of the last reschedule that covered this
+          application ([[||]] before the first) — what the mid-run
+          {!Engine.audit} hands the ALLOC rules *)
   alloc_cache : Mcs_sched.Allocation.cache;
       (** per-application allocation-trajectory cache; consulted only
           when the policy's [alloc_cache] switch is on, cleared on
@@ -65,6 +69,19 @@ val create : Mcs_platform.Platform.t -> (Mcs_ptg.Ptg.t * float) list -> t
     list may be empty — a serving session starts blank and grows by
     {!add_app}). All processors start up, all counters at zero.
     @raise Invalid_argument on a negative/non-finite release time. *)
+
+val copy : t -> t
+(** Deep, self-contained copy — the substance of {!Engine.snapshot}.
+    Every mutable structure (placements, fault bookkeeping, the
+    per-application allocation caches, the ledger, the liveness mask)
+    is cloned; PTGs are shared (immutable, and the cache binding is by
+    physical equality); the arena is fresh (pure per-call scratch); the
+    executions list shares its persistent spine. The [active_apps] /
+    [completed_apps] / [peak_active] gauges are {e re-derived} from the
+    copied statuses rather than inherited, so a copy taken from a
+    drifted source (a crashed serving domain's stale counters) is
+    self-consistent; on a consistent source this reproduces the gauges
+    exactly, keeping the copy bit-identical. *)
 
 val add_app : t -> Mcs_ptg.Ptg.t -> release:float -> app
 (** Append one application (index = current count, status [Pending]).

@@ -384,9 +384,62 @@ let cache_create () =
   }
 
 let cache_clear cache = cache.entries <- []
+
+(* Full release: entries and the PTG/procedure/speed binding both go.
+   [cache_clear] keeps the binding on purpose (same application, the
+   memory is merely wanted back); a departed application's cache must
+   also drop the binding so the PTG itself becomes collectable — and so
+   that invalidation is scoped by construction: only the departing
+   application's cache is touched, never a neighbour's. *)
+let cache_release cache =
+  cache.entries <- [];
+  cache.bound_ptg <- None;
+  cache.bound_procedure <- None;
+  cache.bound_speed <- Float.nan;
+  cache.bound_seq <- [||];
+  cache.bound_alpha <- [||]
+
 let cache_stats cache =
   { hits = cache.hits; rescales = cache.rescales; misses = cache.misses }
 let cache_entry_count cache = List.length cache.entries
+
+let entry_copy e =
+  {
+    e_cap = e.e_cap;
+    e_levels = Array.copy e.e_levels;
+    e_incs = Array.copy e.e_incs;
+    e_reqs = Array.copy e.e_reqs;
+    e_ceils = Array.copy e.e_ceils;
+    e_cps = Array.copy e.e_cps;
+    e_areas = Array.copy e.e_areas;
+    e_len = e.e_len;
+    e_closed = e.e_closed;
+    e_closed_ceil = e.e_closed_ceil;
+    e_procs = Array.copy e.e_procs;
+    e_usage = Array.copy e.e_usage;
+    e_exec = Array.copy e.e_exec;
+    e_budget = e.e_budget;
+    e_bpower = e.e_bpower;
+    e_res = { e.e_res with procs = Array.copy e.e_res.procs };
+  }
+
+(* Snapshot-grade deep copy. Every mutable array is cloned, so extend/
+   fork/rescale on either side never leaks into the other. The PTG
+   binding is {e shared} — deliberately: the binding is checked by
+   physical equality, and a restored engine re-allocates the very same
+   PTG values, so a cloned binding must keep pointing at them. *)
+let cache_copy cache =
+  {
+    entries = List.map entry_copy cache.entries;
+    hits = cache.hits;
+    rescales = cache.rescales;
+    misses = cache.misses;
+    bound_ptg = cache.bound_ptg;
+    bound_procedure = cache.bound_procedure;
+    bound_speed = cache.bound_speed;
+    bound_seq = Array.copy cache.bound_seq;
+    bound_alpha = Array.copy cache.bound_alpha;
+  }
 
 (* A cache is bound to one PTG, one procedure and one reference speed
    for its whole life; mixing inputs would serve one application's
@@ -630,6 +683,11 @@ let allocate_cached ?(procedure = Scrap_max) ?up_counts ~cache ~arena
   bind_guards cache ~procedure
     ~speed:ref_cluster.Reference_cluster.speed ptg;
   let n = Dag.node_count ptg.Ptg.dag in
+  (* Reserve for every path, not just [entry_create]: a warm cache in
+     front of a fresh arena (a restored engine's State.copy pairs
+     copied caches with new scratch) can take the extend/fork paths on
+     its very first call, and those use the arena's buffers directly. *)
+  Alloc_arena.reserve arena ~nodes:n ~levels:(max 1 (Dag.depth ptg.Ptg.dag));
   if Array.length cache.bound_seq < n then begin
     cache.bound_seq <- Array.make n 0.;
     cache.bound_alpha <- Array.make n 0.;

@@ -123,8 +123,25 @@ val cache_create : unit -> cache
 (** Fresh empty cache. One per application per engine. *)
 
 val cache_clear : cache -> unit
-(** Drop every entry (the application departed, or the caller wants the
-    memory back). Statistics are kept; the next call is a miss. *)
+(** Drop every entry (the caller wants the memory back). Statistics and
+    the PTG binding are kept; the next call is a miss that re-records
+    into the same binding. *)
+
+val cache_release : cache -> unit
+(** {!cache_clear} plus drop the PTG/procedure/speed binding — the
+    departed application's memory is fully released (the bound PTG
+    becomes collectable) and the cache may later be re-bound to a
+    different PTG. Scoped by construction: caches are per-application,
+    so releasing one never evicts a still-active neighbour's
+    trajectories. Statistics survive. *)
+
+val cache_copy : cache -> cache
+(** Deep, self-contained copy: entries, frontier state and statistics
+    are cloned (mutation on either side is invisible to the other); the
+    PTG binding is shared, as the binding is by physical equality and a
+    snapshot-restored engine keeps allocating the same PTG values.
+    Serving the same request sequence to the copy and the original
+    yields bit-identical results — the snapshot/restore bar. *)
 
 val cache_stats : cache -> stats
 (** Lifetime hit/rescale/miss counts. *)

@@ -16,6 +16,9 @@ type config = {
   router : Router.choice;
   admission : Admission.t;
   policy : Policy.t;
+  kernel : string;
+  checkpoint_every : int;
+  kill : (int * int) option;
   capture_logs : bool;
   check : bool;
   faults : Fault.config option;
@@ -29,6 +32,9 @@ let default_config =
     router = Router.Least_work;
     admission = Admission.default;
     policy = Policy.static (Mcs_sched.Strategy.Weighted (Mcs_sched.Strategy.Work, 0.7));
+    kernel = "default";
+    checkpoint_every = 0;
+    kill = None;
     capture_logs = false;
     check = false;
     faults = None;
@@ -48,6 +54,7 @@ type report = {
   events : int;
   reschedules : int;
   remapped : int;
+  restores : int;
   violations : int;
   wall_s : float;
 }
@@ -56,7 +63,8 @@ type t = {
   config : config;
   shards : Shard.t array;
   router : Router.t;
-  domains : unit Domain.t array;
+  domains : unit Domain.t option array;
+      (** one slot per shard; [None] between a join and a respawn *)
   lock : Mutex.t;
       (** guards the four counters below; never held across a
           (possibly blocking) queue push, so a blocked submitter cannot
@@ -73,6 +81,11 @@ type t = {
 let create config platform =
   Admission.validate config.admission;
   (match config.faults with Some fc -> Fault.validate fc | None -> ());
+  (match config.kill with
+  | Some (k, n) ->
+    if k < 0 || k >= config.shards || n < 0 then
+      invalid_arg "Service.create: ill-formed kill spec"
+  | None -> ());
   let parts = Shard.partition platform ~shards:config.shards in
   let shards =
     Array.mapi
@@ -82,8 +95,15 @@ let create config platform =
             (fun fc -> Fault.generate ~seed:(config.fault_seed + k) sub fc)
             config.faults
         in
+        let crash_after =
+          match (config.mode, config.kill) with
+          | Domains, Some (kk, n) when kk = k -> Some n
+          | _ -> None
+        in
         Shard.make ~index:k ~platform:sub ~clusters
           ~admission:config.admission ~policy:config.policy
+          ~kernel_name:config.kernel
+          ~checkpoint_every:config.checkpoint_every ~crash_after
           ~capture_log:config.capture_logs ~check:config.check ~faults)
       parts
   in
@@ -97,7 +117,9 @@ let create config platform =
     match config.mode with
     | Inline -> [||]
     | Domains ->
-      Array.map (fun sh -> Domain.spawn (fun () -> Shard.serve_loop sh)) shards
+      Array.map
+        (fun sh -> Some (Domain.spawn (fun () -> Shard.serve_loop sh)))
+        shards
   in
   {
     config;
@@ -114,10 +136,38 @@ let create config platform =
     started_at = Unix.gettimeofday ();
   }
 
+(* Detect-and-heal: any shard whose serving loop died at its scripted
+   crash point is joined (making its last state fully visible), rebuilt
+   from its checkpoint + journal, and its loop respawned. Called at the
+   top of every [submit] — before any push, so a Block-mode submitter
+   never backpressures against a dead consumer — and at [close]. Under
+   the service lock: the flag is only ever cleared here, so concurrent
+   healers cannot double-join a domain. *)
+let heal t =
+  match t.config.mode with
+  | Inline -> ()
+  | Domains ->
+    if Array.exists Shard.crashed t.shards then
+      Mutex.protect t.lock @@ fun () ->
+      Array.iteri
+        (fun k sh ->
+          if Shard.crashed sh then begin
+            (match t.domains.(k) with
+            | Some d ->
+              Domain.join d;
+              t.domains.(k) <- None
+            | None -> ());
+            Hb.acquire (Shard.hb_done sh);
+            Shard.restore_crashed sh;
+            t.domains.(k) <- Some (Domain.spawn (fun () -> Shard.serve_loop sh))
+          end)
+        t.shards
+
 (* Short critical sections only: validate-and-count, then push with
    the lock released (the push may block on backpressure, and a
    submitter blocked under the service lock would deadlock close). *)
 let submit t ptg ~release =
+  heal t;
   let global =
     Mutex.protect t.lock @@ fun () ->
     Hb.region t.hb @@ fun () ->
@@ -195,6 +245,7 @@ let build_report t =
     events = sum (fun r -> r.Shard.engine.Engine.stats.Engine.events_processed);
     reschedules = sum (fun r -> r.Shard.engine.Engine.stats.Engine.reschedules);
     remapped = sum (fun r -> r.Shard.engine.Engine.stats.Engine.remapped_tasks);
+    restores = sum (fun r -> r.Shard.restores);
     violations = sum (fun r -> r.Shard.violations);
     wall_s = Unix.gettimeofday () -. t.started_at;
   }
@@ -206,14 +257,24 @@ let close t =
    if t.closed then invalid_arg "Service.close: already closed";
    Hb.write t.hb_state;
    t.closed <- true);
+  (* A crash after the last submission is only detected here: heal
+     first, so the respawned loop serves the close-time drain. *)
+  heal t;
   (match t.config.mode with
   | Domains ->
     Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards;
-    Array.iter Domain.join t.domains;
+    Array.iter (Option.iter Domain.join) t.domains;
     (* The join edge: each shard released [hb_done] at the end of its
        loop; acquiring after the join tells the tracker everything the
        shard did is visible to the sweep below. *)
-    Array.iter (fun sh -> Hb.acquire (Shard.hb_done sh)) t.shards
+    Array.iter (fun sh -> Hb.acquire (Shard.hb_done sh)) t.shards;
+    (* A loop that died between the pre-close heal and the join exited
+       without finishing: restore it here — no respawn needed, the
+       close-time sweep below drains its mailbox and runs it to
+       quiescence on this domain. *)
+    Array.iter
+      (fun sh -> if Shard.crashed sh then Shard.restore_crashed sh)
+      t.shards
   | Inline -> Array.iter (fun sh -> Squeue.close (Shard.queue sh)) t.shards);
   (* Sweep to fixpoint: inline-mode leftovers, plus hand-offs that
      landed after their target's domain exited. Shedding off, so every

@@ -39,6 +39,21 @@ type config = {
   router : Router.choice;
   admission : Admission.t;
   policy : Mcs_online.Policy.t;
+  kernel : string;
+      (** policy-kernel registry name over [policy]
+          ({!Mcs_online.Policy_kernel.of_name}); ["default"] runs the
+          policy as-is *)
+  checkpoint_every : int;
+      (** [> 0]: checkpoint every shard every that-many injections
+          (plus once at creation) — engine snapshot + bookkeeping +
+          an injection journal, the substrate of crash recovery *)
+  kill : (int * int) option;
+      (** [Some (k, n)]: scripted fault-tolerance drill — shard [k]'s
+          serving domain dies after ≥ [n] injections; the service
+          detects it, rebuilds the shard from its latest checkpoint +
+          journal and respawns the loop. The recovered run's merged
+          log is bit-identical to the no-kill run (shedding off).
+          Ignored in [Inline] mode *)
   capture_logs : bool;  (** per-shard event logs, for merge/export *)
   check : bool;  (** per-generation ON/ALLOC/MAP + post-run FAULT audit *)
   faults : Mcs_fault.Fault.config option;
@@ -49,8 +64,8 @@ type config = {
 val default_config : config
 (** 4 shards, [Domains], [Least_work] routing, {!Admission.default},
     {!Mcs_online.Policy.static} scheduling (arrival-only reschedules —
-    the serving default; dynamic policies are opt-in), no logs, no
-    checker, no faults. *)
+    the serving default; dynamic policies are opt-in), ["default"]
+    kernel, no checkpoints, no kill, no logs, no checker, no faults. *)
 
 type outcome =
   | Admitted of int  (** accepted, routed to the returned shard *)
@@ -69,6 +84,7 @@ type report = {
   events : int;  (** engine events processed, all shards *)
   reschedules : int;
   remapped : int;
+  restores : int;  (** checkpoint restores after scripted crashes *)
   violations : int;  (** checker errors, all shards *)
   wall_s : float;  (** create → close, seconds *)
 }

@@ -64,13 +64,23 @@ val make :
   clusters:int array ->
   admission:Admission.t ->
   policy:Mcs_online.Policy.t ->
+  kernel_name:string ->
+  checkpoint_every:int ->
+  crash_after:int option ->
   capture_log:bool ->
   check:bool ->
   faults:Mcs_fault.Fault.scenario option ->
   t
 (** A fresh shard over its sub-platform, mailbox capacity and fault
-    scenario per the arguments. Peers must be installed with
-    {!set_peers} before any pickup can shed. *)
+    scenario per the arguments. The engine runs under
+    {!Mcs_online.Policy_kernel.of_name}[ kernel_name ~base:policy]
+    (["default"] reproduces the plain policy). [checkpoint_every > 0]
+    checkpoints the shard every that-many injections (plus once at
+    creation); [crash_after = Some n] scripts a crash of the serving
+    loop after at least [n] injections (see {!restore_crashed}). Peers
+    must be installed with {!set_peers} before any pickup can shed.
+    @raise Invalid_argument on a negative [checkpoint_every] or an
+    unknown kernel name. *)
 
 val set_peers : t -> t array -> unit
 (** Install the full shard array (self included) — hand-off targets. *)
@@ -99,7 +109,29 @@ val pickup : t -> unit
 val serve_loop : t -> unit
 (** Blocking serving loop: pickup on every mailbox signal until the
     queue closes, then drain what remains and advance to quiescence.
-    The body of the shard's domain. *)
+    The body of the shard's domain. Checkpoints per [checkpoint_every];
+    exits early — publishing {!crashed} — when the scripted
+    [crash_after] threshold is reached. *)
+
+val crashed : t -> bool
+(** Whether the serving loop died at its scripted crash point (readable
+    from any domain). The service heals such a shard with
+    {!restore_crashed} and respawns the loop. *)
+
+val restore_crashed : t -> unit
+(** Rebuild the shard at its latest checkpoint and replay the journal
+    of injections made since (each at its {e recorded} admission
+    instant). Everything the dead loop did after the checkpoint —
+    engine progress, log suffix, violation counts, gauges — is rolled
+    back and will be re-derived by the respawned loop; by the watermark
+    argument the re-run is bit-identical to the run that did not crash.
+    The in-flight load gauge is re-derived from the restored engine
+    state (injected, not completed), never inherited. Must be called on
+    the service's domain, after the crashed domain was joined.
+    @raise Invalid_argument if the shard has no checkpoint. *)
+
+val restores : t -> int
+(** Completed {!restore_crashed} calls over this shard's lifetime. *)
 
 val finish : t -> unit
 (** Advance the session to quiescence (close-time sweep step). *)
@@ -119,6 +151,7 @@ type report = {
   handoffs_out : int;
   queue_peak : int;
   peak_active : int;
+  restores : int;  (** checkpoint restores after scripted crashes *)
   violations : int;  (** checker errors across all generations + audit *)
   diagnostics : Mcs_check.Diagnostic.t list;  (** first few, for reports *)
   log : Mcs_online.Log.event list;

@@ -8,6 +8,11 @@ let create ~cmp = { cmp; data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* The backing array is copied but the elements are shared — callers
+   that store mutable elements must deep-copy them themselves (the
+   engine's event queue stores immutable entries, so sharing is safe). *)
+let copy t = { cmp = t.cmp; data = Array.copy t.data; size = t.size }
+
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin

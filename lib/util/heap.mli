@@ -10,6 +10,12 @@ type 'a t
 val create : cmp:('a -> 'a -> int) -> 'a t
 (** Fresh empty heap ordered by [cmp]. *)
 
+val copy : 'a t -> 'a t
+(** Independent heap with the same ordering and contents: pushes and
+    pops on either side never affect the other. Elements themselves are
+    shared, not cloned — store immutable elements (or deep-copy them)
+    if the copy must be fully self-contained. O(n). *)
+
 val length : 'a t -> int
 (** Number of elements currently stored. *)
 

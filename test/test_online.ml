@@ -329,6 +329,310 @@ let test_alloc_cache_transparent_faults () =
     || off.Engine.stats.Engine.task_failures > 0);
   check_cache_transparent "faults" off on_
 
+(* ---------- Policy kernel, snapshot/restore, speculation ---------- *)
+
+let makespan (r : Engine.result) =
+  Array.fold_left
+    (fun acc c -> if Float.is_finite c then Float.max acc c else acc)
+    0. r.Engine.completions
+
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+let fault_scenario_for platform seed =
+  Mcs_fault.Fault.generate ~seed platform
+    {
+      Mcs_fault.Fault.default with
+      Mcs_fault.Fault.mttf = 400.;
+      mttr = 60.;
+      task_fail_p = 0.1;
+      horizon = 1500.;
+    }
+
+(* Uninterrupted run: one session, straight to quiescence. *)
+let run_plain ?faults ~kernel platform apps =
+  let logs = ref [] in
+  let log e = logs := Log.to_json e :: !logs in
+  let s =
+    Engine.create ~log ?faults ~kernel ~policy:kernel.Policy_kernel.policy
+      platform apps
+  in
+  Engine.advance s;
+  (List.rev !logs, Engine.result s)
+
+(* Interrupted run: advance to [split], snapshot, abandon the original
+   session and finish on a restore of the snapshot. The log sink is
+   handed to the restored session, so the combined stream must equal
+   the uninterrupted one bit for bit. *)
+let run_split ?faults ~kernel ~split platform apps =
+  let logs = ref [] in
+  let log e = logs := Log.to_json e :: !logs in
+  let s =
+    Engine.create ~log ?faults ~kernel ~policy:kernel.Policy_kernel.policy
+      platform apps
+  in
+  Engine.advance ~upto:split s;
+  let s' = Engine.restore ~log (Engine.snapshot s) in
+  Engine.advance s';
+  (List.rev !logs, Engine.result s')
+
+let same_outcome (l0, r0) (l1, r1) =
+  l0 = l1
+  && Array.for_all2 Float.equal r0.Engine.completions r1.Engine.completions
+  && r0.Engine.executions = r1.Engine.executions
+
+let test_snapshot_restore_identical () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 21 ~mean:25. in
+  let kernel =
+    Policy_kernel.default
+      (Policy.make (Strategy.Weighted (Strategy.Work, 0.7)))
+  in
+  let plain = run_plain ~kernel platform apps in
+  List.iter
+    (fun split ->
+      Alcotest.(check bool)
+        (Printf.sprintf "split at %g replays the uninterrupted log" split)
+        true
+        (same_outcome plain (run_split ~kernel ~split platform apps)))
+    [ 0.; 40.; 90.; 1e12 ]
+
+let test_snapshot_restore_identical_faults () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 77 ~mean:20. in
+  let faults = fault_scenario_for platform 5 in
+  let kernel =
+    Policy_kernel.of_name "shrink-retry"
+      ~base:
+        (Policy.make
+           ~faults:
+             { Policy.default_faults with Policy.shrink_on_retry = true }
+           (Strategy.Weighted (Strategy.Work, 0.7)))
+  in
+  let plain = run_plain ~faults ~kernel platform apps in
+  Alcotest.(check bool)
+    "scenario exercises faults" true
+    ((snd plain).Engine.stats.Engine.kills > 0
+    || (snd plain).Engine.stats.Engine.task_failures > 0);
+  List.iter
+    (fun split ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faulted split at %g is bit-identical" split)
+        true
+        (same_outcome plain (run_split ~faults ~kernel ~split platform apps)))
+    [ 30.; 120. ]
+
+let strategies =
+  [
+    Strategy.Selfish;
+    Strategy.Equal_share;
+    Strategy.Proportional Strategy.Work;
+    Strategy.Weighted (Strategy.Work, 0.7);
+  ]
+
+let qcheck_snapshot_restore =
+  QCheck.Test.make
+    ~name:"snapshot → restore → continue is bit-identical" ~count:15
+    QCheck.(
+      triple (int_range 0 10_000)
+        (int_range 0 (List.length strategies - 1))
+        (int_range 0 100))
+    (fun (seed, strat_i, percent) ->
+      let platform = Grid5000.rennes () in
+      let apps = workload 5 seed ~mean:20. in
+      let faulted = seed mod 2 = 0 in
+      let faults =
+        if faulted then Some (fault_scenario_for platform (seed + 7))
+        else None
+      in
+      let kernel =
+        Policy_kernel.of_name
+          (if faulted then "shrink-retry" else "default")
+          ~base:
+            (Policy.make
+               ~faults:
+                 {
+                   Policy.default_faults with
+                   Policy.shrink_on_retry = faulted;
+                 }
+               (List.nth strategies strat_i))
+      in
+      let plain = run_plain ?faults ~kernel platform apps in
+      let split = float_of_int percent /. 100. *. makespan (snd plain) in
+      same_outcome plain (run_split ?faults ~kernel ~split platform apps))
+
+let test_policy_swap_deterministic () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 33 ~mean:25. in
+  let policy = Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let run () =
+    let logs = ref [] and errors = ref 0 in
+    let log e = logs := Log.to_json e :: !logs in
+    let check ds = errors := !errors + List.length (Mcs_check.Diagnostic.errors ds) in
+    let s =
+      Engine.create ~log ~check
+        ~kernel:(Policy_kernel.of_name "static" ~base:policy)
+        ~policy platform apps
+    in
+    Engine.advance ~upto:60. s;
+    Engine.set_kernel ~reschedule:true s
+      (Policy_kernel.of_name "eager" ~base:policy);
+    Alcotest.(check string) "kernel swapped" "eager" (Engine.kernel_name s);
+    Engine.advance s;
+    (List.rev !logs, Engine.result s, !errors)
+  in
+  let l1, r1, e1 = run () in
+  let l2, r2, e2 = run () in
+  Alcotest.(check int) "checker clean" 0 (e1 + e2);
+  Alcotest.(check (list string)) "swapped runs log identically" l1 l2;
+  Alcotest.(check bool)
+    "completions bit-identical" true
+    (Array.for_all2 Float.equal r1.Engine.completions r2.Engine.completions);
+  Alcotest.(check bool)
+    "the swap remap is logged" true
+    (List.exists (fun line -> contains_sub line "policy_swap") l1)
+
+let test_what_if_speculation () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 11 ~mean:20. in
+  let policy = Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let s =
+    Engine.create
+      ~kernel:(Policy_kernel.of_name "static" ~base:policy)
+      ~policy platform apps
+  in
+  Engine.advance ~upto:30. s;
+  (* A candidate identical to the incumbent ties and is never adopted:
+     adoption demands strict improvement. *)
+  let same = Engine.what_if s (Policy_kernel.of_name "static" ~base:policy) in
+  Alcotest.(check bool) "identical candidate not adopted" false
+    same.Engine.adopted;
+  Alcotest.(check bool)
+    "identical candidate ties bit for bit" true
+    (Float.equal same.Engine.baseline_makespan same.Engine.candidate_makespan);
+  Alcotest.(check string) "incumbent kept" "static" (Engine.kernel_name s);
+  (* Dynamic rescheduling vs the static kernel on a contended stream. *)
+  let sp = Engine.what_if s (Policy_kernel.of_name "default" ~base:policy) in
+  Alcotest.(check bool)
+    "adopted iff strictly better" sp.Engine.adopted
+    (sp.Engine.candidate_makespan < sp.Engine.baseline_makespan);
+  Alcotest.(check string)
+    "live kernel reflects the decision"
+    (if sp.Engine.adopted then "default" else "static")
+    (Engine.kernel_name s);
+  (* The speculation's clones predict the live run exactly: finishing
+     the session reproduces the chosen clone's makespan bit for bit. *)
+  Engine.advance s;
+  let final = makespan (Engine.result s) in
+  let predicted =
+    if sp.Engine.adopted then sp.Engine.candidate_makespan
+    else sp.Engine.baseline_makespan
+  in
+  Alcotest.(check bool)
+    "live run matches the chosen clone" true (Float.equal final predicted)
+
+let test_departure_scoped_invalidation () =
+  (* Tight arrivals: every application arrives before the first one
+     departs, so each first allocation (the misses) happens up front.
+     Under Selfish every request is β = 1, so every departure-triggered
+     reallocation of a survivor must be an exact cache hit — zero new
+     misses. An engine that cleared every cache on any departure
+     (instead of releasing only the departing application's) would pay
+     one fresh miss per survivor here. *)
+  let platform = Grid5000.rennes () in
+  let apps = workload 5 13 ~mean:1. in
+  let policy = Policy.make ~alloc_cache:true Strategy.Selfish in
+  let first_departure = ref infinity in
+  let log = function
+    | Log.Departure { time; _ } ->
+      if not (Float.is_finite !first_departure) then first_departure := time
+    | _ -> ()
+  in
+  let kernel = Policy_kernel.default policy in
+  let s = Engine.create ~log ~kernel ~policy platform apps in
+  Engine.advance s;
+  Alcotest.(check bool)
+    "probe saw a departure" true
+    (Float.is_finite !first_departure);
+  let s = Engine.create ~kernel ~policy platform apps in
+  Engine.advance ~upto:!first_departure s;
+  Alcotest.(check int) "all applications arrived" 5 (Engine.active_count s);
+  let h1, r1, m1 = Engine.alloc_cache_stats s in
+  Engine.advance s;
+  let h2, r2, m2 = Engine.alloc_cache_stats s in
+  Alcotest.(check int) "no new misses after the departures" m1 m2;
+  Alcotest.(check bool)
+    "survivor reallocations served from their caches" true
+    (h2 + r2 > h1 + r1)
+
+let test_copy_rederives_gauges () =
+  (* A crashed shard's stale gauges must not leak through State.copy:
+     the concurrency gauges are re-derived from the copied statuses. *)
+  let platform = Grid5000.rennes () in
+  let apps = workload 4 3 ~mean:10. in
+  let st = State.create platform apps in
+  st.State.apps.(0).State.status <- State.Completed;
+  st.State.apps.(1).State.status <- State.Active;
+  st.State.active_apps <- 7;
+  st.State.completed_apps <- 5;
+  st.State.peak_active <- 0;
+  let c = State.copy st in
+  Alcotest.(check int) "active_apps re-derived" 1 c.State.active_apps;
+  Alcotest.(check int) "completed_apps re-derived" 1 c.State.completed_apps;
+  Alcotest.(check bool)
+    "peak floored by the derived gauge" true
+    (c.State.peak_active >= c.State.active_apps);
+  st.State.peak_active <- 5;
+  Alcotest.(check int)
+    "recorded peak kept when higher" 5 (State.copy st).State.peak_active
+
+let test_audit_restored_session () =
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 55 ~mean:25. in
+  let policy = Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let s =
+    Engine.create ~kernel:(Policy_kernel.default policy) ~policy platform apps
+  in
+  Engine.advance ~upto:80. s;
+  Alcotest.(check bool) "mid-run session is busy" true
+    (Engine.active_count s > 0);
+  Alcotest.(check int)
+    "live audit clean" 0
+    (List.length (Mcs_check.Diagnostic.errors (Engine.audit s)));
+  let s' = Engine.restore (Engine.snapshot s) in
+  Alcotest.(check int)
+    "restored audit clean" 0
+    (List.length (Mcs_check.Diagnostic.errors (Engine.audit s')))
+
+let test_policy_flags_and_kernel_registry () =
+  Alcotest.check_raises "finish-trigger without departure-trigger"
+    (Invalid_argument
+       "Policy.make: reschedule_on_task_finish without \
+        reschedule_on_departure")
+    (fun () ->
+      ignore
+        (Policy.make ~reschedule_on_departure:false
+           ~reschedule_on_task_finish:true Strategy.Equal_share));
+  let p = Policy.static Strategy.Equal_share in
+  Alcotest.(check bool)
+    "static disables both triggers" false
+    (p.Policy.reschedule_on_departure || p.Policy.reschedule_on_task_finish);
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (Printf.sprintf "registry round-trips %S" name)
+        name
+        (Policy_kernel.of_name name ~base:p).Policy_kernel.name)
+    Policy_kernel.names;
+  Alcotest.(check bool)
+    "unknown kernel rejected" true
+    (try
+       ignore (Policy_kernel.of_name "nope" ~base:p);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     ( "online.engine",
@@ -350,5 +654,25 @@ let suite =
           test_alloc_cache_transparent;
         Alcotest.test_case "alloc cache transparent (faults)" `Quick
           test_alloc_cache_transparent_faults;
+      ] );
+    ( "online.kernel",
+      [
+        Alcotest.test_case "snapshot/restore bit-identical" `Quick
+          test_snapshot_restore_identical;
+        Alcotest.test_case "snapshot/restore bit-identical (faults)" `Quick
+          test_snapshot_restore_identical_faults;
+        QCheck_alcotest.to_alcotest qcheck_snapshot_restore;
+        Alcotest.test_case "policy swap deterministic & clean" `Quick
+          test_policy_swap_deterministic;
+        Alcotest.test_case "what-if speculation" `Quick
+          test_what_if_speculation;
+        Alcotest.test_case "departure-scoped cache invalidation" `Quick
+          test_departure_scoped_invalidation;
+        Alcotest.test_case "State.copy re-derives gauges" `Quick
+          test_copy_rederives_gauges;
+        Alcotest.test_case "audit clean on restored session" `Quick
+          test_audit_restored_session;
+        Alcotest.test_case "policy flags & kernel registry" `Quick
+          test_policy_flags_and_kernel_registry;
       ] );
   ]

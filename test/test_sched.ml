@@ -331,6 +331,59 @@ let test_cache_binding_guards () =
     (rejected (fun () ->
          Allocation.allocate_cached ~cache ~arena r2 p2 ~beta:0.5 ptg))
 
+let test_cache_release_and_copy () =
+  let p = toy_platform ~procs:8 () in
+  let r = Reference_cluster.of_platform p in
+  let ptg = random_ptg ~tasks:10 29 in
+  let arena = Alloc_arena.create () in
+  let cache = Allocation.cache_create () in
+  ignore (Allocation.allocate_cached ~cache ~arena r p ~beta:0.5 ptg);
+  (* A deep copy serves independently and inherits the statistics. *)
+  let copy = Allocation.cache_copy cache in
+  let s0 = Allocation.cache_stats copy in
+  Alcotest.(check int)
+    "copy inherits misses"
+    (Allocation.cache_stats cache).Allocation.misses s0.Allocation.misses;
+  let from_copy =
+    Allocation.allocate_cached ~cache:copy ~arena r p ~beta:0.5 ptg
+  in
+  check_alloc_equal "copy serves bit-identically"
+    (Allocation.allocate r p ~beta:0.5 ptg)
+    from_copy;
+  Alcotest.(check int)
+    "repeat on the copy is a hit" (s0.Allocation.hits + 1)
+    (Allocation.cache_stats copy).Allocation.hits;
+  Alcotest.(check int)
+    "serving the copy leaves the original untouched" s0.Allocation.hits
+    (Allocation.cache_stats cache).Allocation.hits;
+  (* A warm copy in front of a fresh arena: this is exactly what a
+     snapshot-restored engine presents on its first reschedule, and the
+     β-extension path must reserve the arena's scratch itself
+     (regression for the restored-run [bottom_levels_into] crash). *)
+  let fresh_arena = Alloc_arena.create () in
+  let grown =
+    Allocation.allocate_cached ~cache:copy ~arena:fresh_arena r p ~beta:1.0
+      ptg
+  in
+  check_alloc_equal "β-extension on a fresh arena"
+    (Allocation.allocate r p ~beta:1.0 ptg)
+    grown;
+  (* Release: entries and binding both dropped — the cache accepts a
+     different PTG afterwards (contrast with the binding guards above),
+     and the lifetime statistics survive. *)
+  Allocation.cache_release cache;
+  Alcotest.(check int)
+    "release empties" 0
+    (Allocation.cache_entry_count cache);
+  let other = random_ptg ~tasks:10 31 in
+  let rebound = Allocation.allocate_cached ~cache ~arena r p ~beta:0.5 other in
+  check_alloc_equal "re-bound after release"
+    (Allocation.allocate r p ~beta:0.5 other)
+    rebound;
+  Alcotest.(check bool)
+    "statistics survive release" true
+    ((Allocation.cache_stats cache).Allocation.misses >= 2)
+
 let qcheck_cache_differential =
   QCheck.Test.make
     ~name:"allocate_cached ≡ allocate over random β streams" ~count:25
@@ -906,6 +959,8 @@ let suite =
         Alcotest.test_case "entry bound & clear" `Quick
           test_cache_entry_bound;
         Alcotest.test_case "binding guards" `Quick test_cache_binding_guards;
+        Alcotest.test_case "release & copy" `Quick
+          test_cache_release_and_copy;
         QCheck_alcotest.to_alcotest qcheck_cache_differential;
       ] );
     ( "sched.strategy",

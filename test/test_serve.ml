@@ -290,6 +290,40 @@ let test_deterministic_replay () =
   Alcotest.(check bool) "merged logs equal (domains)" true (l1 = l2);
   Alcotest.(check bool) "merged logs equal (inline)" true (l1 = l3)
 
+(* --- checkpoint / crash recovery ----------------------------------- *)
+
+let test_kill_restore_bit_identical () =
+  (* Scripted crash drill: shard 1's domain dies right after its 5th
+     injection, the service joins the corpse, restores the shard from
+     its latest checkpoint (replaying the journalled suffix at the
+     recorded admission instants) and respawns it. The bar is total
+     transparency: merged log, response vector and checker verdict all
+     bit-identical to the run that never crashed. *)
+  let platform = Grid5000.grid () in
+  let apps = workload 40 13 ~mean:2. in
+  let cfg ~kill =
+    let c = config ~shards:4 ~mode:Service.Domains in
+    {
+      c with
+      Service.admission =
+        { c.Service.admission with Admission.batch_window = 5. };
+      Service.checkpoint_every = 3;
+      Service.kill;
+    }
+  in
+  let base = Service.run_stream (cfg ~kill:None) platform apps in
+  let killed = Service.run_stream (cfg ~kill:(Some (1, 5))) platform apps in
+  Alcotest.(check int) "no violations" 0
+    (base.Service.violations + killed.Service.violations);
+  Alcotest.(check int) "crash-free run never restores" 0
+    base.Service.restores;
+  Alcotest.(check int) "exactly one restore" 1 killed.Service.restores;
+  responses_identical "killed vs crash-free" base.Service.responses
+    killed.Service.responses;
+  let lb = Service.merged_log base and lk = Service.merged_log killed in
+  Alcotest.(check bool) "log nonempty" true (lb <> []);
+  Alcotest.(check bool) "merged logs bit-identical" true (lb = lk)
+
 (* --- queue-full semantics ------------------------------------------ *)
 
 let test_reject_never_drops () =
@@ -423,6 +457,8 @@ let suite =
           test_shard1_bit_identical;
         Alcotest.test_case "deterministic replay across interleavings" `Quick
           test_deterministic_replay;
+        Alcotest.test_case "kill → restore is bit-identical" `Quick
+          test_kill_restore_bit_identical;
         Alcotest.test_case "reject: explicit, never silent" `Quick
           test_reject_never_drops;
         Alcotest.test_case "block: backpressure admits everything" `Quick
