@@ -224,6 +224,42 @@ let run_online () =
         ])
     [ 2; 4; 6; 8; 10; 16 ];
   Mcs_util.Table.print table;
+  (* One malleable run at mid scale prices the resize machinery: the
+     same scenario as the count-8 row, plus grow/shrink preemptions on
+     a 10 s grid. *)
+  (let count = 8 in
+   let rng = Mcs_prng.Prng.create ~seed:(97 + count) in
+   let ptgs =
+     List.init count (fun id ->
+         Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+   in
+   let clock = ref 0. in
+   let apps =
+     List.mapi
+       (fun i ptg ->
+         if i > 0 then
+           clock := !clock +. Mcs_prng.Prng.exponential rng ~mean:30.;
+         (ptg, !clock))
+       ptgs
+   in
+   let policy =
+     Mcs_online.Policy.make
+       ~malleability:
+         {
+           Mcs_sched.Malleability.default with
+           Mcs_sched.Malleability.quantum = 10.;
+         }
+       (Strategy.Weighted (Strategy.Work, 0.7))
+   in
+   let t0 = Unix.gettimeofday () in
+   let r = Mcs_online.Engine.run ~policy platform apps in
+   let wall = Unix.gettimeofday () -. t0 in
+   let s = r.Mcs_online.Engine.stats in
+   Printf.printf
+     "malleable (8 apps, 10 s quantum): %d resizes, %d events, %.1f ms \
+      wall\n\n%!"
+     s.Mcs_online.Engine.resizes s.Mcs_online.Engine.events_processed
+     (wall *. 1e3));
   (* Regression floor for CI: the peak events/s of the sweep must clear
      MCS_ONLINE_EVENTS_FLOOR when set (the committed CI value assumes
      the allocation cache; see DESIGN.md section 14). *)
@@ -461,6 +497,19 @@ let emit_pipeline_baseline () =
       }
   in
   ignore (Mcs_online.Engine.run ~policy ~faults platform apps);
+  (* A malleable run (tight resize grid, default triggers) enters the
+     online.resize phase and executes actual grow/shrink operations so
+     the resize counter is covered too. *)
+  let malleable_policy =
+    Mcs_online.Policy.make
+      ~malleability:
+        {
+          Mcs_sched.Malleability.default with
+          Mcs_sched.Malleability.quantum = 10.;
+        }
+      Strategy.Equal_share
+  in
+  ignore (Mcs_online.Engine.run ~policy:malleable_policy platform apps);
   (* A two-shard inline serve run covers the serve.* phases and
      counters; inline keeps every span on this domain's recorder. *)
   ignore
@@ -660,6 +709,23 @@ let run_compare ref_path cur_path =
          cache, current none\n"
         ref_served)
   | _ -> ());
+  (* Same presence gate for malleability: a build whose resize machinery
+     stopped firing would keep its wall-clock profile (skipped resizes
+     are cheap) yet silently degrade to moldable execution. Only active
+     when the reference profile itself executed resizes. *)
+  (match (counter "online.resizes" ref_doc, counter "online.resizes" cur_doc)
+   with
+  | Some ref_resizes, cur_resizes when ref_resizes > 0 -> (
+    match cur_resizes with
+    | Some c when c > 0 ->
+      Printf.printf "ok   counters/online.resizes: %d resizes executed\n" c
+    | Some _ | None ->
+      incr failures;
+      Printf.printf
+        "FAIL counters/online.resizes: reference executed %d resizes, \
+         current none\n"
+        ref_resizes)
+  | _ -> ());
   if !failures > 0 then begin
     Printf.printf "%d phase(s) regressed beyond %.0f%%\n" !failures
       (100. *. compare_tolerance);
@@ -727,6 +793,7 @@ let artefacts =
     ("x6", fun () -> Mcs_util.Table.print (E.Exp_single_ptg.table ()));
     ("x7", fun () -> Mcs_util.Table.print (E.Exp_online.table ()));
     ("x8", fun () -> Mcs_util.Table.print (E.Exp_faults.table ()));
+    ("x9", fun () -> Mcs_util.Table.print (E.Exp_malleable.table ()));
     ("online", run_online);
     ("serve", run_serve);
     ("micro", run_micro);
@@ -748,6 +815,7 @@ let titles =
     ("x6", "X6 — extension: single-PTG algorithm families (HEFT / M-HEFT / HCPA)");
     ("x7", "X7 — extension: online dynamic β vs offline approximation");
     ("x8", "X8 — extension: fault injection across the eight β strategies");
+    ("x9", "X9 — extension: malleable vs moldable execution under bursts");
     ("online", "Online engine — event throughput and rescheduling cost");
     ("serve", "Serving engine — sharded multi-tenant throughput");
     ("micro", "Microbenchmarks");

@@ -25,10 +25,11 @@ let run_experiment id runs profile profile_format =
   | "x6" | "single" -> Mcs_util.Table.print (E.Exp_single_ptg.table ?runs ())
   | "x7" | "online" -> Mcs_util.Table.print (E.Exp_online.table ?runs ())
   | "x8" | "faults" -> Mcs_util.Table.print (E.Exp_faults.table ?runs ())
+  | "x9" | "malleable" -> Mcs_util.Table.print (E.Exp_malleable.table ?runs ())
   | other ->
     prerr_endline
       ("unknown experiment " ^ other
-     ^ " (table1 fig1 fig2 fig3 fig4 fig5 x1 x2 x3 x4 x5 x6 x7 x8)");
+     ^ " (table1 fig1 fig2 fig3 fig4 fig5 x1 x2 x3 x4 x5 x6 x7 x8 x9)");
     exit 2
 
 let id =
@@ -36,7 +37,7 @@ let id =
        & info [] ~docv:"EXPERIMENT"
            ~doc:"table1, fig1..fig5, x1 (constraint), x2 (packing), x3 \
                  (scrap), x4 (validation), x5 (arrivals), x6 (single), x7 \
-                 (online), x8 (faults)")
+                 (online), x8 (faults), x9 (malleable)")
 
 let runs =
   Arg.(value & opt int 0

@@ -40,7 +40,8 @@ let write_file path contents =
 let run site strategy family count seed mean_interarrival static finish_resched
     kernel_name checkpoint swap_at swap_to what_if what_if_at csv json gantt
     check faults mttf mttr task_fail_p granularity horizon max_retries backoff
-    shrink profile profile_format =
+    shrink malleable resize_quantum redist_cost min_width shrink_above
+    grow_below profile profile_format =
   Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
@@ -99,9 +100,22 @@ let run site strategy family count seed mean_interarrival static finish_resched
   let fault_policy =
     { Policy.max_retries; backoff_base = backoff; shrink_on_retry = shrink }
   in
+  let malleability =
+    if not malleable then None
+    else
+      Some
+        {
+          Mcs_sched.Malleability.quantum = resize_quantum;
+          redist_cost;
+          min_width;
+          max_width = max_int;
+          shrink_active_above = shrink_above;
+          grow_active_below = grow_below;
+        }
+  in
   let policy =
     match
-      Policy.make ~faults:fault_policy
+      Policy.make ~faults:fault_policy ?malleability
         ~reschedule_on_departure:(not static)
         ~reschedule_on_task_finish:finish_resched strategy
     with
@@ -202,18 +216,26 @@ let run site strategy family count seed mean_interarrival static finish_resched
         r.Engine.stats.Engine.fault_events
     | Some _ | None -> ""
   in
+  (* Likewise the resize counter appears only when a resize actually
+     executed: an inert malleable run (e.g. a quantum past every
+     finish) stays byte-identical to a moldable one (CI diffs it). *)
+  let resize_suffix =
+    if r.Engine.stats.Engine.resizes > 0 then
+      Printf.sprintf ",\"resizes\":%d" r.Engine.stats.Engine.resizes
+    else ""
+  in
   Printf.printf
     "{\"event\":\"summary\",\"strategy\":\"%s\",\"site\":\"%s\",\
      \"apps\":%d,\"releases\":[%s],\"betas\":[%s],\"responses\":[%s],\
      \"events_processed\":%d,\"events_pushed\":%d,\"reschedules\":%d,\
-     \"remapped_tasks\":%d%s}\n"
+     \"remapped_tasks\":%d%s%s}\n"
     (Strategy.name strategy) site count
     (join (Printf.sprintf "%.17g") release)
     (join (Printf.sprintf "%.17g") r.Engine.betas)
     (join (Printf.sprintf "%.17g") r.Engine.responses)
     r.Engine.stats.Engine.events_processed
     r.Engine.stats.Engine.events_pushed r.Engine.stats.Engine.reschedules
-    r.Engine.stats.Engine.remapped_tasks fault_suffix;
+    r.Engine.stats.Engine.remapped_tasks fault_suffix resize_suffix;
   if gantt then
     prerr_string (Schedule.gantt ~platform r.Engine.schedules);
   (match csv with
@@ -314,7 +336,8 @@ let check =
        & info [ "check" ]
            ~doc:
              "audit every reschedule with the invariant analyzer (plus the \
-              FAULT001-003 execution-log audit under --faults) and exit \
+              FAULT001-003 execution-log audit under --faults and the \
+              MAL001-003 resize audit under --malleable) and exit \
               non-zero on any violated rule")
 
 let faults =
@@ -368,6 +391,42 @@ let shrink =
        & info [ "shrink-on-retry" ]
            ~doc:"halve a task's allocation per transient failure")
 
+let malleable =
+  Arg.(value & flag
+       & info [ "malleable" ]
+           ~doc:
+             "let the engine grow/shrink running tasks at resize points \
+              (without this flag tasks are moldable: widths are fixed at \
+              start, bit-identical to the pre-malleability engine)")
+
+let resize_quantum =
+  Arg.(value & opt float Mcs_sched.Malleability.default.quantum
+       & info [ "resize-quantum" ]
+           ~doc:
+             "grid spacing of legal resize points, seconds (a running \
+              segment may only be preempted at start + k*quantum)")
+
+let redist_cost =
+  Arg.(value & opt float Mcs_sched.Malleability.default.redist_cost
+       & info [ "redist-cost" ]
+           ~doc:"redistribution overhead per moved processor, seconds")
+
+let min_width =
+  Arg.(value & opt int 1
+       & info [ "min-width" ]
+           ~doc:"no resized segment runs on fewer processors")
+
+let shrink_above =
+  Arg.(value
+       & opt int Mcs_sched.Malleability.default.shrink_active_above
+       & info [ "shrink-above" ]
+           ~doc:"shrink running tasks while more applications are active")
+
+let grow_below =
+  Arg.(value & opt int Mcs_sched.Malleability.default.grow_active_below
+       & info [ "grow-below" ]
+           ~doc:"grow running tasks while fewer applications are active")
+
 let cmd =
   let doc =
     "run the event-driven online scheduler and stream JSON event logs"
@@ -379,6 +438,8 @@ let cmd =
       $ static $ finish_resched $ kernel_name $ checkpoint $ swap_at
       $ swap_to $ what_if $ what_if_at $ csv $ json $ gantt $ check $ faults
       $ mttf $ mttr $ task_fail_p $ granularity $ horizon $ max_retries
-      $ backoff $ shrink $ Obs_cli.profile $ Obs_cli.profile_format)
+      $ backoff $ shrink $ malleable $ resize_quantum $ redist_cost
+      $ min_width $ shrink_above $ grow_below $ Obs_cli.profile
+      $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

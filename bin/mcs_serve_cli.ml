@@ -44,7 +44,7 @@ let die msg =
 let run site shards inline count seed mean_interarrival family strategy
     dynamic finish_resched kernel checkpoint_every kill_shard kill_after
     router window capacity reject shed_above rate check faults mttf mttr
-    task_fail_p log_path profile profile_format =
+    task_fail_p malleable resize_quantum log_path profile profile_format =
   Obs_cli.scoped ~profile ~format:profile_format @@ fun () ->
   let platform =
     match Mcs_platform.Grid5000.by_name site with
@@ -58,13 +58,22 @@ let run site shards inline count seed mean_interarrival family strategy
   let router =
     match Router.choice_of_string router with Ok r -> r | Error m -> die m
   in
+  let malleability =
+    if not malleable then None
+    else
+      Some
+        {
+          Mcs_sched.Malleability.default with
+          Mcs_sched.Malleability.quantum = resize_quantum;
+        }
+  in
   let policy =
     match
       if finish_resched then
-        Policy.make ~reschedule_on_departure:true
+        Policy.make ?malleability ~reschedule_on_departure:true
           ~reschedule_on_task_finish:true strategy
-      else if dynamic then Policy.make strategy
-      else Policy.static strategy
+      else if dynamic then Policy.make ?malleability strategy
+      else Policy.static ?malleability strategy
     with
     | p -> p
     | exception Invalid_argument m -> die m
@@ -324,6 +333,18 @@ let task_fail_p =
        & info [ "task-fail-p" ]
            ~doc:"per-attempt transient task failure probability in [0,1]")
 
+let malleable =
+  Arg.(value & flag
+       & info [ "malleable" ]
+           ~doc:
+             "let each shard's engine grow/shrink running tasks at resize \
+              points under the default malleability model")
+
+let resize_quantum =
+  Arg.(value & opt float Mcs_sched.Malleability.default.quantum
+       & info [ "resize-quantum" ]
+           ~doc:"grid spacing of legal resize points, seconds")
+
 let log_path =
   Arg.(value & opt (some string) None
        & info [ "log" ]
@@ -340,6 +361,7 @@ let cmd =
       $ family $ strategy $ dynamic $ finish_resched $ kernel
       $ checkpoint_every $ kill_shard $ kill_after $ router $ window
       $ capacity $ reject $ shed_above $ rate $ check $ faults $ mttf $ mttr
-      $ task_fail_p $ log_path $ Obs_cli.profile $ Obs_cli.profile_format)
+      $ task_fail_p $ malleable $ resize_quantum $ log_path $ Obs_cli.profile
+      $ Obs_cli.profile_format)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,7 @@ module Task = Mcs_taskmodel.Task
 module Timeline = Mcs_util.Timeline
 open Mcs_util.Floatx
 
-type outcome = Completed | Killed | Failed
+type outcome = Completed | Killed | Failed | Resized
 
 type execution = {
   app : int;
@@ -20,6 +20,7 @@ let outcome_name = function
   | Completed -> "completed"
   | Killed -> "killed"
   | Failed -> "failed"
+  | Resized -> "resized"
 
 (* FAULT001 through the reservation machinery: down intervals become
    reservations, an attempt is legal iff every one of its processors is
@@ -116,6 +117,14 @@ let check_conservation ~emit platform ~ptgs per_task =
               (Diagnostic.error ~app ~node Rule.Fault_conservation
                  "task completed %d times" (List.length completed))
           | [ _ ], [] -> assert false);
+          (* A resize chain deliberately splits one attempt into
+             segments that each pay a partial duration plus the
+             redistribution overhead: the exact accounting lives in
+             MAL002 (Mal_check), so the per-segment duration checks
+             below would all fire spuriously — skip them for any task
+             that recorded a resize. *)
+          let resized = List.exists (fun e -> e.outcome = Resized) attempts in
+          if not resized then
           List.iter
             (fun e ->
               if e.cluster < 0 || e.cluster >= P.cluster_count platform then
@@ -148,6 +157,7 @@ let check_conservation ~emit platform ~ptgs per_task =
                          "killed attempt lasts %g, longer than the full \
                           execution time %g"
                          dur full)
+                | Resized -> ()
               end)
             attempts
         end

@@ -15,12 +15,18 @@
       every real task of every application completes exactly once, as
       its chronologically last attempt; completed and transiently-failed
       attempts pay the task's full execution time on their cluster and
-      width; a killed attempt never exceeds it. *)
+      width; a killed attempt never exceeds it. Tasks with {!Resized}
+      segments are exempt from the per-attempt duration checks only:
+      a resize chain's pieces deliberately pay partial durations, and
+      {!Mal_check} accounts for them exactly (MAL002). *)
 
 type outcome =
   | Completed  (** the attempt finished and its result was kept *)
   | Killed  (** a processor outage truncated the attempt *)
   | Failed  (** transient failure at the end: full duration, work lost *)
+  | Resized
+      (** the segment was preempted at a malleability resize point; the
+          task continues as a new segment at a different width *)
 
 type execution = {
   app : int;  (** application submission index *)

@@ -1,0 +1,40 @@
+(** Malleable-execution invariants (MAL001-003).
+
+    Under a {!Mcs_sched.Malleability} model the online engine may
+    preempt a running task at a legal resize point and continue it as a
+    new {e segment} at a different width: the preempted piece is
+    recorded as an execution attempt with outcome
+    {!Fault_check.Resized}, and the pieces form a {e resize chain} —
+    consecutive abutting segments, every one but the last resized. This
+    checker audits the complete execution log against the model:
+
+    - {b MAL001} ([Rule.Mal_width_bounds]): every post-resize segment's
+      width lies within [\[min_width, max_width\]], differs from the
+      previous segment's width (a resize that keeps the width is a
+      bookkeeping error), and stays inside the task's cluster.
+    - {b MAL002} ([Rule.Mal_cost_accounting]): a resized segment has an
+      abutting continuation; each continuation pays at least its
+      redistribution overhead ([redist_cost × moved processors], kills
+      excepted); and the chain's segments, overheads excluded, sum to
+      exactly one task's worth of work when the chain ends in a
+      completion or transient failure — at most one when killed.
+    - {b MAL003} ([Rule.Mal_overlap]): no processor runs two execution
+      segments at overlapping times, post-resize re-placements
+      included — the global counterpart of the per-generation MAP004.
+
+    Tasks never resized form single-segment chains and are vacuously
+    clean here; their durations are audited by FAULT003, which in turn
+    defers to MAL002 for resized tasks. *)
+
+val check :
+  Mcs_sched.Malleability.t ->
+  Mcs_platform.Platform.t ->
+  ptgs:Mcs_ptg.Ptg.t array ->
+  Fault_check.execution list ->
+  Diagnostic.t list
+(** Audit an execution log against a malleability model. [ptgs] are the
+    applications in submission order; executions referencing other
+    applications are ignored (the fault checker reports those). Returns
+    diagnostics in deterministic order — empty when the log is clean.
+    @raise Invalid_argument on an ill-formed model
+    ({!Mcs_sched.Malleability.validate}). *)

@@ -20,6 +20,9 @@ type t =
   | Fault_down_overlap
   | Fault_retry_bound
   | Fault_conservation
+  | Mal_width_bounds
+  | Mal_cost_accounting
+  | Mal_overlap
 
 let all =
   [
@@ -44,6 +47,9 @@ let all =
     Fault_down_overlap;
     Fault_retry_bound;
     Fault_conservation;
+    Mal_width_bounds;
+    Mal_cost_accounting;
+    Mal_overlap;
   ]
 
 let id = function
@@ -68,6 +74,9 @@ let id = function
   | Fault_down_overlap -> "fault-down-overlap"
   | Fault_retry_bound -> "fault-retry-bound"
   | Fault_conservation -> "fault-conservation"
+  | Mal_width_bounds -> "mal-width-bounds"
+  | Mal_cost_accounting -> "mal-cost-accounting"
+  | Mal_overlap -> "mal-overlap"
 
 let code = function
   | Dag_acyclic -> "DAG001"
@@ -91,6 +100,9 @@ let code = function
   | Fault_down_overlap -> "FAULT001"
   | Fault_retry_bound -> "FAULT002"
   | Fault_conservation -> "FAULT003"
+  | Mal_width_bounds -> "MAL001"
+  | Mal_cost_accounting -> "MAL002"
+  | Mal_overlap -> "MAL003"
 
 let of_id s = List.find_opt (fun r -> id r = s) all
 
@@ -144,6 +156,15 @@ let describe = function
      exactly once, as its chronologically last attempt, every completed \
      or transiently-failed attempt pays the full execution time, and a \
      killed attempt never exceeds it"
+  | Mal_width_bounds ->
+    "every resized segment stays within the malleability width bounds, \
+     actually changes width, and stays inside its cluster"
+  | Mal_cost_accounting ->
+    "resize overhead is charged per moved processor and the segments of \
+     a resize chain sum to exactly one task's worth of work"
+  | Mal_overlap ->
+    "no processor runs two execution segments at overlapping times, \
+     resized re-placements included"
 
 let paper_ref = function
   | Dag_acyclic -> "Section 2 (PTG model: application = DAG)"
@@ -170,3 +191,9 @@ let paper_ref = function
   | Fault_retry_bound -> "extension: fault model (bounded retry policy)"
   | Fault_conservation ->
     "extension: fault model (lost work is re-executed, never dropped)"
+  | Mal_width_bounds ->
+    "extension: malleable tasks (Guermouche et al., legal widths)"
+  | Mal_cost_accounting ->
+    "extension: malleable tasks (redistribution cost per moved processor)"
+  | Mal_overlap ->
+    "extension: malleable tasks (resize re-placement stays conflict-free)"

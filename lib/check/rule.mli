@@ -34,6 +34,10 @@ type t =
   | Fault_down_overlap    (** no execution overlaps a down interval *)
   | Fault_retry_bound     (** transient failures ≤ policy max-retries *)
   | Fault_conservation    (** lost work is re-executed, never dropped *)
+  (* Malleable execution *)
+  | Mal_width_bounds      (** resized widths within [min, max], real change *)
+  | Mal_cost_accounting   (** overhead = cost × moved; chains sum to 1 task *)
+  | Mal_overlap           (** resize re-placements stay conflict-free *)
 
 val id : t -> string
 (** Stable kebab-case identifier, e.g. ["map-overlap"]. *)

@@ -33,7 +33,13 @@ let unfairness_of_makespans ~own ~multi =
     |> Seq.filter (fun (o, m) -> not (degenerate o || degenerate m))
     |> Array.of_seq
   in
-  unfairness (Array.map (fun (o, m) -> slowdown ~own:o ~multi:m) pairs)
+  (* All applications degenerate (every makespan NaN, infinite or
+     non-positive): there is no population to measure dispersion over,
+     so saturate to perfectly fair rather than let a NaN leak into
+     experiment tables — the same saturate-don't-propagate stance as
+     {!slowdown}. *)
+  if Array.length pairs = 0 then 0.
+  else unfairness (Array.map (fun (o, m) -> slowdown ~own:o ~multi:m) pairs)
 
 let relative_makespan m ~best =
   if best <= 0. then invalid_arg "Metrics.relative_makespan: best <= 0";

@@ -18,6 +18,7 @@ let phases =
     ("online.event", "handling of one non-stale online event");
     ("online.reschedule", "one rescheduling generation (beta + remap)");
     ("online.fault", "handling of one fault event (outage/recovery/failure)");
+    ("online.resize", "one malleable resize opportunity (grow/shrink/skip)");
     ("serve.run", "one full service run (stream submission + drain)");
     ("serve.pickup", "one shard mailbox drain: shed + inject a batch");
     ("serve.step", "one shard engine advance up to the watermark");
@@ -45,6 +46,7 @@ let counters =
     ("online.kills", "running attempts killed by processor outages");
     ("online.retries", "transient task failures (each costs one retry)");
     ("online.fault_events", "outage/recovery events processed");
+    ("online.resizes", "malleable grow/shrink operations executed");
     ("mapper.release", "ledger reservations released by outage rollbacks");
     ("check.analyses", "invariant analyzer passes");
     ("check.rules", "rules evaluated across analyzer passes");

@@ -5,6 +5,8 @@ module List_mapper = Mcs_sched.List_mapper
 module Allocation = Mcs_sched.Allocation
 module Strategy = Mcs_sched.Strategy
 module Reference_cluster = Mcs_sched.Reference_cluster
+module Malleability = Mcs_sched.Malleability
+module Task = Mcs_taskmodel.Task
 module Fault = Mcs_fault.Fault
 module Fault_check = Mcs_check.Fault_check
 module P = Mcs_platform.Platform
@@ -18,6 +20,7 @@ let c_kills = Obs.counter "online.kills"
 let c_retries = Obs.counter "online.retries"
 let c_fault_events = Obs.counter "online.fault_events"
 let c_release = Obs.counter "mapper.release"
+let c_resizes = Obs.counter "online.resizes"
 
 type stats = {
   events_processed : int;
@@ -30,6 +33,7 @@ type stats = {
   alloc_hits : int;
   alloc_rescales : int;
   alloc_misses : int;
+  resizes : int;
 }
 
 type result = {
@@ -62,6 +66,7 @@ let policy s = s.kernel.Policy_kernel.policy
    {!Policy_kernel} contract). The label of the merged batch is its
    strongest cause. *)
 let trigger_rank = function
+  | "resize" -> 6
   | "proc_down" -> 5
   | "proc_up" -> 4
   | "task_failed" -> 3
@@ -165,6 +170,36 @@ let blackout s =
   state.State.version <- state.State.version + 1;
   announce s
 
+(* Arm the next legal resize opportunity of every running real task:
+   one [Resize] event per task at its next grid point, announced under
+   the current generation so any later reschedule re-plans it (the old
+   event goes stale). An opportunity is not a commitment — the trigger
+   is re-evaluated when the point is reached. *)
+let plan_resizes s =
+  match (policy s).Policy.malleability with
+  | None -> ()
+  | Some m ->
+    let state = s.st in
+    List.iter
+      (fun app ->
+        Array.iteri
+          (fun v pl ->
+            match pl with
+            | Some pl
+              when (not (Ptg.is_virtual app.State.ptg v))
+                   && pl.Schedule.start <= state.State.now +. Floatx.eps
+                   && pl.Schedule.finish > state.State.now +. Floatx.eps ->
+              let at =
+                Malleability.next_resize_point m ~start:pl.Schedule.start
+                  ~now:state.State.now
+              in
+              if at < pl.Schedule.finish -. Floatx.eps then
+                Event_queue.push s.q ~time:at ~version:state.State.version
+                  (Event_queue.Resize { app = app.State.index; node = v })
+            | Some _ | None -> ())
+          app.State.placements)
+      (State.active state)
+
 let reschedule s ~trigger =
   Obs.with_span "online.reschedule" @@ fun () ->
   let state = s.st in
@@ -232,12 +267,16 @@ let reschedule s ~trigger =
         (fun j app ->
           let procs = prepared.Pipeline.allocations.(j).Allocation.procs in
           let procs =
-            if s.fault_on && Policy_kernel.shrinks s.kernel then
+            if Policy_kernel.shrinks s.kernel then
               (* Shrink retried tasks per the kernel (the default
                  halves the allocation per transient failure: smaller
                  retries pack earlier on a degraded platform).
                  Allocations of pinned tasks are ignored by the
-                 mapper, so shrinking them is inert. *)
+                 mapper, so shrinking them is inert. Deliberately not
+                 gated on fault mode: a custom kernel may shrink on
+                 signals of its own, and the registry kernels are the
+                 identity at zero failures, so fault-free runs stay
+                 bit-identical either way. *)
               Array.mapi
                 (fun v p ->
                   Policy_kernel.shrink s.kernel ~failures:app.State.failures.(v)
@@ -322,6 +361,7 @@ let reschedule s ~trigger =
     Obs.incr ~by:remapped s.kernel.Policy_kernel.c_remapped;
     if s.fault_on then State.commit_started state;
     announce s;
+    plan_resizes s;
     s.emit
       (Log.Reschedule
          {
@@ -338,8 +378,138 @@ let stale s ev =
   | Event_queue.Arrival _ | Event_queue.Proc_down _ | Event_queue.Proc_up _ ->
     false
   | Event_queue.Task_finish _ | Event_queue.Task_failed _
-  | Event_queue.Departure _ ->
+  | Event_queue.Departure _ | Event_queue.Resize _ ->
     ev.Event_queue.version <> s.st.State.version
+
+(* Execute one resize opportunity of task [node] of application [i]
+   under model [m]. The target width is decided here, at the grid point
+   itself — the arrival spike that motivated planning the opportunity
+   may be long gone — and clamped to what is feasible: the cluster
+   processors idle at this instant (running placements hold theirs;
+   merely planned ones are remapped by the mandatory post-resize
+   reschedule). On a resize the current segment is closed as a
+   [Resized] execution record, its ledger reservation is truncated at
+   the preemption instant through the fault path's release machinery,
+   the task's progress absorbs the segment's work, and the new segment
+   starts now at the new width, charged the redistribution cost and
+   priced by Amdahl at that width. Returns [true] iff a resize
+   happened — the caller then forces a reschedule (successors re-price,
+   the new segment commits, the next opportunity is planned). A
+   declined opportunity re-arms the next grid point directly, since no
+   reschedule may happen in between to re-plan it. *)
+let try_resize s m i node =
+  let state = s.st in
+  let app = state.State.apps.(i) in
+  match app.State.placements.(node) with
+  | Some pl
+    when app.State.status = State.Active
+         && (not (Ptg.is_virtual app.State.ptg node))
+         && pl.Schedule.start <= state.State.now +. Floatx.eps
+         && pl.Schedule.finish > state.State.now +. Floatx.eps ->
+    let renew () =
+      let at =
+        Malleability.next_resize_point m ~start:pl.Schedule.start
+          ~now:state.State.now
+      in
+      if at < pl.Schedule.finish -. Floatx.eps then
+        Event_queue.push s.q ~time:at ~version:state.State.version
+          (Event_queue.Resize { app = i; node });
+      false
+    in
+    let width = Array.length pl.Schedule.procs in
+    let overhead = app.State.seg_overhead.(node) in
+    (* Inside the previous resize's redistribution window no work has
+       accrued yet; splitting there would charge twice. *)
+    if state.State.now <= pl.Schedule.start +. overhead +. Floatx.eps then
+      renew ()
+    else begin
+      let cl = P.cluster s.platform pl.Schedule.cluster in
+      let task = app.State.ptg.Ptg.tasks.(node) in
+      let full = Task.time task ~gflops:cl.P.gflops ~procs:width in
+      let done_here =
+        (state.State.now -. pl.Schedule.start -. overhead) /. full
+      in
+      let remaining = 1. -. app.State.progress.(node) -. done_here in
+      if remaining <= Floatx.eps then renew ()
+      else begin
+        let avail = State.proc_avail state in
+        let base = P.first_proc s.platform pl.Schedule.cluster in
+        let free = ref [] and nfree = ref 0 in
+        for k = cl.P.procs - 1 downto 0 do
+          let p = base + k in
+          if
+            avail.(p) <= state.State.now +. Floatx.eps
+            && ((not s.fault_on) || state.State.proc_up.(p))
+          then begin
+            free := p :: !free;
+            incr nfree
+          end
+        done;
+        let cap = width + !nfree in
+        let target =
+          Policy_kernel.resize_target s.kernel m
+            ~active:state.State.active_apps ~width ~cap
+        in
+        let target = max 1 (min target cap) in
+        if target = width then renew ()
+        else begin
+          let procs =
+            if target < width then begin
+              (* Shrink keeps the lowest processor ids; the released
+                 ones become available this instant. *)
+              let sorted = Array.copy pl.Schedule.procs in
+              Array.sort compare sorted;
+              Array.sub sorted 0 target
+            end
+            else begin
+              let procs = Array.make target 0 in
+              Array.blit pl.Schedule.procs 0 procs 0 width;
+              List.iteri
+                (fun k p -> if k < target - width then procs.(width + k) <- p)
+                !free;
+              procs
+            end
+          in
+          let moved = abs (target - width) in
+          let cost = Malleability.resize_cost m ~moved in
+          let full_new = Task.time task ~gflops:cl.P.gflops ~procs:target in
+          let finish = state.State.now +. cost +. (remaining *. full_new) in
+          State.record_execution state app node pl ~finish:state.State.now
+            ~outcome:Fault_check.Resized;
+          if s.fault_on then begin
+            let released =
+              State.rollback state app node pl ~at:state.State.now
+            in
+            Obs.incr ~by:released c_release
+          end;
+          app.State.progress.(node) <- app.State.progress.(node) +. done_here;
+          app.State.seg_overhead.(node) <- cost;
+          app.State.placements.(node) <-
+            Some
+              { pl with Schedule.procs; start = state.State.now; finish };
+          (* The cached trajectory suffix that priced [node] at its
+             nominal width is stale for this application from here on;
+             its prefix survives and replays bit-identically. *)
+          Allocation.cache_trim app.State.alloc_cache ~node;
+          state.State.resizes <- state.State.resizes + 1;
+          Obs.incr c_resizes;
+          s.emit
+            (Log.Task_resized
+               {
+                 time = state.State.now;
+                 app = i;
+                 node;
+                 from_width = width;
+                 to_width = target;
+                 moved;
+                 cost;
+                 finish;
+               });
+          true
+        end
+      end
+    end
+  | Some _ | None -> false
 
 let placement_of s who i node =
   match s.st.State.apps.(i).State.placements.(node) with
@@ -398,6 +568,10 @@ let handle s ev trigger =
         pl.Schedule.procs;
     app.State.committed.(node) <- false;
     app.State.placements.(node) <- None;
+    (* A retry restarts the task from scratch: resize progress of the
+       failed attempt is lost with it. *)
+    app.State.progress.(node) <- 0.;
+    app.State.seg_overhead.(node) <- 0.;
     (* Descendants scheduled to start at this very instant were about
        to consume the failed output: revoke them before the pinning
        boundary (start ≤ now) freezes them into the next generation.
@@ -452,6 +626,8 @@ let handle s ev trigger =
                 in
                 Obs.incr ~by:released c_release;
                 app.State.placements.(v) <- None;
+                app.State.progress.(v) <- 0.;
+                app.State.seg_overhead.(v) <- 0.;
                 s.emit
                   (Log.Task_killed
                      {
@@ -495,7 +671,18 @@ let handle s ev trigger =
            response = ev.Event_queue.time -. app.State.release;
          });
     if Policy_kernel.wants s.kernel Policy_kernel.Departure then
-      trigger := merge_trigger !trigger "departure");
+      trigger := merge_trigger !trigger "departure"
+  | Event_queue.Resize { app = i; node } -> (
+    match (policy s).Policy.malleability with
+    | None -> ()
+    | Some m ->
+      Obs.enter "online.resize";
+      if try_resize s m i node then
+        (* Mandatory, kernel-independent: the resized segment must be
+           committed and re-announced and its successors re-priced, or
+           the stale finish events of the old width would fire. *)
+        trigger := merge_trigger !trigger "resize";
+      Obs.leave ()));
   Obs.leave ()
 
 let create ?log ?check ?faults ?kernel ~policy platform apps =
@@ -730,6 +917,13 @@ let result s =
       (Fault_check.check ~max_retries:(policy s).Policy.faults.Policy.max_retries
          ~down s.platform ~ptgs executions)
   | (Some _ | None), _ -> ());
+  (* Malleable runs additionally audit the resize chains (MAL001-003),
+     fault scenario or not. *)
+  (match ((policy s).Policy.malleability, s.check) with
+  | Some m, Some f ->
+    let ptgs = Array.map (fun app -> app.State.ptg) state.State.apps in
+    f (Mcs_check.Mal_check.check m s.platform ~ptgs executions)
+  | (Some _ | None), _ -> ());
   let apps = state.State.apps in
   let alloc_hits, alloc_rescales, alloc_misses =
     State.alloc_cache_stats state
@@ -753,6 +947,7 @@ let result s =
         alloc_hits;
         alloc_rescales;
         alloc_misses;
+        resizes = state.State.resizes;
       };
   }
 

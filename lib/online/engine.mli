@@ -41,6 +41,25 @@
       always terminates). Outcomes are pre-rolled per attempt from the
       scenario seed, so they are independent of scheduling order.
 
+    {b Malleable execution} ({!Policy.t}'s [malleability]) lets the
+    engine change the width of a {e running} task at the legal resize
+    points of a {!Mcs_sched.Malleability} model: after every
+    reschedule each running real task's next grid point is armed as a
+    resize opportunity; when reached, the target width is decided by
+    the active kernel ({!Policy_kernel.resize_target} — by default the
+    model's thresholds: shrink under an arrival spike, grow when the
+    system drains) and clamped to the processors idle in the task's
+    cluster at that instant. A resize closes the current segment as a
+    {!Mcs_check.Fault_check.Resized} execution record, releases its
+    remaining ledger reservation, charges a redistribution overhead
+    proportional to the processors moved, re-prices the remaining work
+    by Amdahl at the new width, and forces a reschedule so successors
+    re-price and the next opportunity is planned. Resize chains are
+    audited by {!Mcs_check.Mal_check} (MAL001-003) when [?check] is
+    given. With [malleability = None] — the default — no opportunity
+    is ever planned and the engine is bit-identical to the
+    non-malleable one, event log included.
+
     A PTG whose unique sink is a {e real} task doubles as its exit
     node: the engine announces both its task finish (it records an
     execution attempt and can fail transiently like any other task) and
@@ -71,6 +90,7 @@ type stats = {
   alloc_hits : int;        (** allocation-cache exact hits (same β) *)
   alloc_rescales : int;    (** cache hits served by β-rescale replay *)
   alloc_misses : int;      (** scratch allocation runs (new cache key) *)
+  resizes : int;           (** malleable grow/shrink operations executed *)
 }
 
 type result = {

@@ -5,6 +5,7 @@ type kind =
   | Departure of int
   | Proc_down of int array
   | Proc_up of int array
+  | Resize of { app : int; node : int }
 
 type event = {
   time : float;
@@ -24,6 +25,7 @@ let kind_rank = function
   | Arrival _ -> 3
   | Proc_down _ -> 4
   | Proc_up _ -> 5
+  | Resize _ -> 6
 
 (* Content key breaking ties between equal-time events of the same
    kind: the insertion sequence alone would make the pop order depend
@@ -35,7 +37,9 @@ let kind_rank = function
    generations — where earlier pushes are stale first. *)
 let kind_key = function
   | Arrival a | Departure a -> (a, -1)
-  | Task_finish { app; node } | Task_failed { app; node } -> (app, node)
+  | Task_finish { app; node } | Task_failed { app; node }
+  | Resize { app; node } ->
+    (app, node)
   | Proc_down ps | Proc_up ps ->
     ((if Array.length ps = 0 then -1 else ps.(0)), -2)
 

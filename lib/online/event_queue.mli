@@ -11,15 +11,18 @@
     transient failures, then departures, then arrivals, then outages,
     then recoveries — an arrival-triggered rescheduling thus sees every
     simultaneous completion as already done, and an outage kills no task
-    that completed at that very instant. Within one kind the content key
+    that completed at that very instant. Malleability {e resize} points
+    sort after everything else at their instant, so a resize decision
+    sees the post-batch world and never races the resized task's own
+    finish. Within one kind the content key
     (application index, then node; first processor id for fault events)
     breaks ties, so the pop order is canonical even when fault events
     collide with announcements; the insertion sequence is only the final
     resort (same task announced under two schedule generations: the
     earlier push is the stale one).
 
-    Task-finish, task-failed and departure events are invalidated by
-    rescheduling (the engine re-announces the future of every active
+    Task-finish, task-failed, departure and resize events are
+    invalidated by rescheduling (the engine re-announces the future of every active
     application after each β recomputation). Instead of searching the
     queue, events carry the schedule {e version} they were announced
     under; the engine drops, on pop, any finish/failure/departure whose
@@ -33,6 +36,10 @@ type kind =
   | Departure of int  (** application index *)
   | Proc_down of int array  (** global processor ids failing together *)
   | Proc_up of int array  (** global processor ids recovering together *)
+  | Resize of { app : int; node : int }
+      (** legal malleability resize point of one running task's current
+          segment — an {e opportunity}, not a commitment: the engine
+          re-evaluates the trigger at pop time and may decline *)
 
 type event = {
   time : float;

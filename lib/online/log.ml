@@ -13,6 +13,16 @@ type event =
   | Proc_up of { time : float; procs : int array }
   | Task_failed of { time : float; app : int; node : int; failures : int }
   | Task_killed of { time : float; app : int; node : int; elapsed : float }
+  | Task_resized of {
+      time : float;
+      app : int;
+      node : int;
+      from_width : int;
+      to_width : int;
+      moved : int;
+      cost : float;
+      finish : float;
+    }
 
 let time = function
   | Arrival { time; _ }
@@ -22,7 +32,8 @@ let time = function
   | Proc_down { time; _ }
   | Proc_up { time; _ }
   | Task_failed { time; _ }
-  | Task_killed { time; _ } -> time
+  | Task_killed { time; _ }
+  | Task_resized { time; _ } -> time
 
 (* Same defensive escaping as Trace: the only free strings are PTG
    names, which the generators control. *)
@@ -82,3 +93,9 @@ let to_json = function
       "{\"event\":\"task_killed\",\"time\":%.17g,\"app\":%d,\"node\":%d,\
        \"elapsed\":%.17g}"
       time app node elapsed
+  | Task_resized { time; app; node; from_width; to_width; moved; cost; finish }
+    ->
+    Printf.sprintf
+      "{\"event\":\"task_resized\",\"time\":%.17g,\"app\":%d,\"node\":%d,\
+       \"from\":%d,\"to\":%d,\"moved\":%d,\"cost\":%.17g,\"finish\":%.17g}"
+      time app node from_width to_width moved cost finish

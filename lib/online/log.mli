@@ -44,6 +44,19 @@ type event =
       node : int;
       elapsed : float;  (** work lost: outage instant − attempt start *)
     }
+  | Task_resized of {
+      time : float;
+      app : int;
+      node : int;
+      from_width : int;  (** processors before the resize *)
+      to_width : int;  (** processors after the resize *)
+      moved : int;  (** released + acquired processors *)
+      cost : float;  (** redistribution overhead charged, seconds *)
+      finish : float;  (** re-priced finish of the resized segment *)
+    }
+      (** a running task was preempted at a malleability resize point
+          and continues at a different width (malleable runs only: a
+          run with malleability off never emits this) *)
 
 val time : event -> float
 (** Virtual time of the record, whatever its variant. *)

@@ -14,12 +14,13 @@ type t = {
   reschedule_on_task_finish : bool;
   alloc_cache : bool;
   faults : fault_policy;
+  malleability : Mcs_sched.Malleability.t option;
 }
 
 let make ?(config = Mcs_sched.Pipeline.default_config)
     ?(faults = default_faults) ?(alloc_cache = true)
     ?(reschedule_on_departure = true) ?(reschedule_on_task_finish = false)
-    strategy =
+    ?malleability strategy =
   if faults.max_retries < 0 then
     invalid_arg "Policy.make: negative max_retries";
   if Float.is_nan faults.backoff_base || faults.backoff_base < 0. then
@@ -32,6 +33,9 @@ let make ?(config = Mcs_sched.Pipeline.default_config)
   if reschedule_on_task_finish && not reschedule_on_departure then
     invalid_arg "Policy.make: reschedule_on_task_finish without \
                  reschedule_on_departure";
+  (match malleability with
+  | Some m -> Mcs_sched.Malleability.validate m
+  | None -> ());
   {
     strategy;
     config;
@@ -39,8 +43,9 @@ let make ?(config = Mcs_sched.Pipeline.default_config)
     reschedule_on_task_finish;
     alloc_cache;
     faults;
+    malleability;
   }
 
-let static ?config ?faults ?alloc_cache strategy =
+let static ?config ?faults ?alloc_cache ?malleability strategy =
   make ?config ?faults ?alloc_cache ~reschedule_on_departure:false
-    ~reschedule_on_task_finish:false strategy
+    ~reschedule_on_task_finish:false ?malleability strategy

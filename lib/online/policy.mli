@@ -49,6 +49,13 @@ type t = {
           the scratch path by construction; the switch exists so the
           differential tests can run both and compare. On by default. *)
   faults : fault_policy;
+  malleability : Mcs_sched.Malleability.t option;
+      (** when [Some m], running tasks become {e malleable}: the engine
+          may preempt them at [m]'s legal resize points and continue
+          them at a different width, charging the redistribution cost
+          and re-pricing the remaining work (see {!Engine}). [None]
+          (the default) is the paper's moldable model and is
+          bit-identical to the pre-malleability engine. *)
 }
 
 val make :
@@ -57,6 +64,7 @@ val make :
   ?alloc_cache:bool ->
   ?reschedule_on_departure:bool ->
   ?reschedule_on_task_finish:bool ->
+  ?malleability:Mcs_sched.Malleability.t ->
   Mcs_sched.Strategy.t -> t
 (** Dynamic-β policy. [alloc_cache] and [reschedule_on_departure]
     default to [true], [reschedule_on_task_finish] to [false] — the
@@ -64,14 +72,17 @@ val make :
     validated here, once: rescheduling on every task finish while
     ignoring departures is rejected (a departure {e is} the finish of
     the exit task, so the finer trigger subsumes the coarser one).
+    [malleability] (default [None], i.e. moldable tasks) is validated
+    with {!Mcs_sched.Malleability.validate}.
     @raise Invalid_argument on a negative [max_retries], an ill-formed
-    [backoff_base], or [reschedule_on_task_finish] without
-    [reschedule_on_departure]. *)
+    [backoff_base], an ill-formed malleability model, or
+    [reschedule_on_task_finish] without [reschedule_on_departure]. *)
 
 val static :
   ?config:Mcs_sched.Pipeline.config ->
   ?faults:fault_policy ->
   ?alloc_cache:bool ->
+  ?malleability:Mcs_sched.Malleability.t ->
   Mcs_sched.Strategy.t -> t
 (** Arrival-only rescheduling —
     [make ~reschedule_on_departure:false ~reschedule_on_task_finish:false]. *)

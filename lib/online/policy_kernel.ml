@@ -22,6 +22,7 @@ type t = {
   reschedules_on : trigger -> bool;
   backoff : failures:int -> float;
   shrink : (failures:int -> procs:int -> int) option;
+  resize : (active:int -> width:int -> cap:int -> int) option;
   c_reschedules : Obs.counter;
   c_remapped : Obs.counter;
 }
@@ -40,7 +41,7 @@ let exponential_backoff policy ~failures =
 let halving_shrink ~failures ~procs =
   if failures > 0 then max 1 (procs asr min failures 30) else procs
 
-let make ?(name = "custom") ?reschedules_on ?backoff ?shrink policy =
+let make ?(name = "custom") ?reschedules_on ?backoff ?shrink ?resize policy =
   let reschedules_on =
     match reschedules_on with
     | Some f -> f
@@ -63,7 +64,16 @@ let make ?(name = "custom") ?reschedules_on ?backoff ?shrink policy =
       else None
   in
   let c_reschedules, c_remapped = counters name in
-  { name; policy; reschedules_on; backoff; shrink; c_reschedules; c_remapped }
+  {
+    name;
+    policy;
+    reschedules_on;
+    backoff;
+    shrink;
+    resize;
+    c_reschedules;
+    c_remapped;
+  }
 
 let default policy = make ~name:"default" policy
 
@@ -74,6 +84,15 @@ let shrink t ~failures ~procs =
   match t.shrink with None -> procs | Some f -> f ~failures ~procs
 
 let shrinks t = t.shrink <> None
+
+(* The malleability trigger: the target width of a running segment,
+   given the current load. The kernel closure wins when present; the
+   model's own thresholds (arrival-spike halving, idle doubling) are
+   the default. Answering the current width means "no resize". *)
+let resize_target t m ~active ~width ~cap =
+  match t.resize with
+  | Some f -> f ~active ~width ~cap
+  | None -> Mcs_sched.Malleability.target_width m ~active ~width ~cap
 
 (* The registry behind the CLIs' [--policy NAME]. Every named kernel is
    derived from the caller's base policy, so strategy, mapper options

@@ -50,6 +50,15 @@ type t = {
       (** per-retry allocation shrink; [None] means allocations are
           never touched (the common case — keeping it an option lets
           the engine skip a per-task rewrite pass entirely) *)
+  resize : (active:int -> width:int -> cap:int -> int) option;
+      (** malleability trigger: target width for a running segment of
+          [width] processors while [active] applications are in the
+          system ([cap] is the feasibility ceiling the engine computed:
+          free same-cluster processors plus the current width).
+          Consulted only when the policy carries a
+          {!Policy.t.malleability} model; [None] falls back to the
+          model's own thresholds
+          ({!Mcs_sched.Malleability.target_width}) *)
   c_reschedules : Mcs_obs.Obs.counter;
   c_remapped : Mcs_obs.Obs.counter;
 }
@@ -59,6 +68,7 @@ val make :
   ?reschedules_on:(trigger -> bool) ->
   ?backoff:(failures:int -> float) ->
   ?shrink:(failures:int -> procs:int -> int) ->
+  ?resize:(active:int -> width:int -> cap:int -> int) ->
   Policy.t ->
   t
 (** Kernel over [policy] with any decision closure overridden; the
@@ -97,3 +107,15 @@ val shrink : t -> failures:int -> procs:int -> int
 val shrinks : t -> bool
 (** Whether {!shrink} can ever differ from the identity — lets the
     engine skip the rewrite pass (and its copies) entirely. *)
+
+val resize_target :
+  t ->
+  Mcs_sched.Malleability.t ->
+  active:int ->
+  width:int ->
+  cap:int ->
+  int
+(** Target width for a running segment under malleability model [m]:
+    the kernel's [resize] closure when present, the model's own
+    thresholds otherwise. Equal to [width] means "leave it alone"; the
+    engine additionally clamps to what is actually feasible. *)

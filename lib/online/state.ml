@@ -17,6 +17,8 @@ type app = {
   failures : int array;
   retry_at : float array;
   committed : bool array;
+  progress : float array;
+  seg_overhead : float array;
   mutable last_alloc : int array;
   alloc_cache : Mcs_sched.Allocation.cache;
 }
@@ -39,6 +41,7 @@ type t = {
   mutable kills : int;
   mutable task_failures : int;
   mutable fault_events : int;
+  mutable resizes : int;
 }
 
 let make_app index ptg release =
@@ -56,6 +59,8 @@ let make_app index ptg release =
     failures = Array.make n 0;
     retry_at = Array.make n 0.;
     committed = Array.make n false;
+    progress = Array.make n 0.;
+    seg_overhead = Array.make n 0.;
     last_alloc = [||];
     alloc_cache = Mcs_sched.Allocation.cache_create ();
   }
@@ -83,6 +88,7 @@ let create platform apps =
     kills = 0;
     task_failures = 0;
     fault_events = 0;
+    resizes = 0;
   }
 
 let copy_app (a : app) =
@@ -100,6 +106,8 @@ let copy_app (a : app) =
     failures = Array.copy a.failures;
     retry_at = Array.copy a.retry_at;
     committed = Array.copy a.committed;
+    progress = Array.copy a.progress;
+    seg_overhead = Array.copy a.seg_overhead;
     last_alloc = Array.copy a.last_alloc;
     alloc_cache = Mcs_sched.Allocation.cache_copy a.alloc_cache;
   }
@@ -142,6 +150,7 @@ let copy t =
     kills = t.kills;
     task_failures = t.task_failures;
     fault_events = t.fault_events;
+    resizes = t.resizes;
   }
 
 (* Appending is O(apps) per call; submissions reach the engine in

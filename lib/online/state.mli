@@ -30,6 +30,16 @@ type app = {
   failures : int array;  (** transient failures per node, cumulative *)
   retry_at : float array;  (** backoff floor: node may not start before *)
   committed : bool array;  (** placement currently reserved in the ledger *)
+  progress : float array;
+      (** fraction of each task's total work completed by the segments
+          {e before} the current one — 0 everywhere unless the task was
+          resized (malleable runs only); reset to 0 when an attempt is
+          killed or fails transiently (the restart loses the work) *)
+  seg_overhead : float array;
+      (** redistribution overhead charged at the start of each task's
+          {e current} segment, seconds — 0 unless the segment follows a
+          resize; the current segment makes work progress only after
+          [start + seg_overhead] *)
   mutable last_alloc : int array;
       (** reference allocation of the last reschedule that covered this
           application ([[||]] before the first) — what the mid-run
@@ -62,6 +72,7 @@ type t = {
   mutable kills : int;  (** attempts killed by processor outages *)
   mutable task_failures : int;  (** transient failures observed *)
   mutable fault_events : int;  (** outage/recovery events processed *)
+  mutable resizes : int;  (** malleability resizes executed *)
 }
 
 val create : Mcs_platform.Platform.t -> (Mcs_ptg.Ptg.t * float) list -> t

@@ -766,3 +766,54 @@ let allocate_cached ?(procedure = Scrap_max) ?up_counts ~cache ~arena
     | _ :: rest -> find best rest
   in
   find None cache.entries
+
+(* Rebuild an entry's frontier at trajectory prefix [at] — the same
+   arithmetic as [fork]'s prefix replay, in place — and drop everything
+   past it. The truncated states are exactly what a scratch run visits,
+   so later requests replay the surviving prefix and extend live:
+   results stay bit-identical to scratch, only the memoized suffix is
+   re-derived. *)
+let entry_trim cache e ~at ptg =
+  let n = Array.length e.e_procs in
+  let levels = e.e_levels in
+  Array.fill e.e_usage 0 (Array.length e.e_usage) 0;
+  for v = 0 to n - 1 do
+    e.e_procs.(v) <- 1;
+    if not (Ptg.is_virtual ptg v) then
+      e.e_usage.(levels.(v)) <- e.e_usage.(levels.(v)) + 1
+  done;
+  for i = 0 to at - 1 do
+    let v = e.e_incs.(i) in
+    e.e_procs.(v) <- e.e_procs.(v) + 1;
+    e.e_usage.(levels.(v)) <- e.e_usage.(levels.(v)) + 1
+  done;
+  for v = 0 to n - 1 do
+    e.e_exec.(v) <-
+      exec_at ~seq:cache.bound_seq ~alpha:cache.bound_alpha v
+        ~procs:e.e_procs.(v)
+  done;
+  e.e_len <- at;
+  e.e_closed <- false;
+  e.e_closed_ceil <- max_int;
+  e.e_budget <- -1;
+  e.e_bpower <- Float.nan;
+  e.e_res <-
+    { procs = [||]; iterations = 0; critical_path = 0.; average_area = 0. }
+
+let cache_trim cache ~node =
+  match cache.bound_ptg with
+  | None -> ()
+  | Some ptg ->
+    List.iter
+      (fun e ->
+        let stop = ref (-1) in
+        (try
+           for i = 0 to e.e_len - 1 do
+             if e.e_incs.(i) = node then begin
+               stop := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !stop >= 0 then entry_trim cache e ~at:!stop ptg)
+      cache.entries

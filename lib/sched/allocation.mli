@@ -143,6 +143,19 @@ val cache_copy : cache -> cache
     Serving the same request sequence to the copy and the original
     yields bit-identical results — the snapshot/restore bar. *)
 
+val cache_trim : cache -> node:int -> unit
+(** Invalidate the trajectory {e suffix} that involves [node]: in every
+    entry, drop all recorded steps from the first increment of [node]
+    onwards and rebuild the frontier at that prefix. The prefix is
+    untouched (it never priced [node] beyond its initial processor), so
+    later requests replay it and re-derive the dropped tail live —
+    results stay bit-identical to scratch runs, by the same argument as
+    {!cache_copy}. Used by the online engine when a malleability resize
+    re-prices [node]'s remaining work at a new width: only this
+    application's cache is touched (per-application scoping is by
+    construction), and only the suffix is lost. No-op on an unbound or
+    empty cache, or when no trajectory increments [node]. *)
+
 val cache_stats : cache -> stats
 (** Lifetime hit/rescale/miss counts. *)
 

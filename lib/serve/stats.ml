@@ -34,6 +34,7 @@ let relabel f = function
   | Log.Proc_up _ as ev -> ev
   | Log.Task_failed r -> Log.Task_failed { r with app = f r.app }
   | Log.Task_killed r -> Log.Task_killed { r with app = f r.app }
+  | Log.Task_resized r -> Log.Task_resized { r with app = f r.app }
 
 let merge logs =
   let tagged =

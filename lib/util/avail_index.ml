@@ -84,18 +84,39 @@ let repair t g members =
 
 let update t ids v =
   if Array.length ids > 0 then begin
-    let ids = Array.copy ids in
-    Array.sort compare ids;
+    if not (Float.is_finite v) then
+      invalid_arg "Avail_index.update: non-finite availability";
     Array.iter
       (fun id ->
         if id < 0 || id >= Array.length t.group_of || t.group_of.(id) < 0
-        then invalid_arg "Avail_index.update: id not indexed";
+        then invalid_arg "Avail_index.update: id not indexed")
+      ids;
+    (* Sort by (group, id): the repair below hands each group its
+       members as one contiguous, id-sorted, duplicate-free run. A
+       duplicated id or a group split across two runs would both feed
+       [repair] a member set inconsistent with the marks and corrupt
+       the merged view — the rollback equivalence property pins this. *)
+    let ids = Array.copy ids in
+    Array.sort
+      (fun a b ->
+        let c = compare t.group_of.(a) t.group_of.(b) in
+        if c <> 0 then c else compare a b)
+      ids;
+    let n = Array.length ids in
+    let uniq = ref 0 in
+    for i = 0 to n - 1 do
+      if !uniq = 0 || ids.(!uniq - 1) <> ids.(i) then begin
+        ids.(!uniq) <- ids.(i);
+        incr uniq
+      end
+    done;
+    let ids = Array.sub ids 0 !uniq in
+    let n = Array.length ids in
+    Array.iter
+      (fun id ->
         t.avail.(id) <- v;
         t.mark.(id) <- true)
       ids;
-    (* One repair per distinct group; ids are sorted, so each group's
-       members form a subsequence already ordered by id. *)
-    let n = Array.length ids in
     let i = ref 0 in
     while !i < n do
       let g = t.group_of.(ids.(!i)) in

@@ -33,10 +33,22 @@ val avail : t -> int -> float
 
 val update : t -> int array -> float -> unit
 (** [update t ids v] sets the availability of every id in [ids] to [v]
-    and repairs the sorted views. Ids may span several groups; each
-    affected group is repaired with a single merge pass. Safe to call
+    and repairs the sorted views. Ids may span several groups (each
+    affected group is repaired with a single merge pass) and may
+    contain duplicates (deduplicated before the repair). Safe to call
     with an empty array (no-op).
-    @raise Invalid_argument on an id outside every group. *)
+
+    {b Mirror contract with {!Timeline}.} The mapper pairs every
+    [update] with a {!Timeline.reserve} and every {!release} with a
+    {!Timeline.release}. [Timeline] {e ignores} zero-length intervals,
+    so a zero-length commit must not move the index either: the caller
+    skips the [update] (or re-writes the unchanged availability, which
+    leaves the views identical). The interleaved reserve/release
+    equivalence property in [test_timeline.ml] pins the two structures
+    to the same horizon under that discipline.
+    @raise Invalid_argument on an id outside every group or a
+    non-finite [v] (the mirror of [Timeline]'s rejection of ill-formed
+    intervals). *)
 
 val release : t -> int array -> float -> unit
 (** [release t ids v] rolls the availability of [ids] back to [v] —

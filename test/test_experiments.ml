@@ -191,6 +191,25 @@ let test_validation_errors_bounded () =
         && s.Exp_validation.mean_rel_error < 10.))
     stats
 
+let test_malleable_experiment_shape () =
+  (* X9 audits every run (MAL rules included) and reports one point per
+     (mode, level); the moldable rows never resize. The makespan edge
+     itself is pinned deterministically in test_malleable.ml. *)
+  let points = Exp_malleable.compute ~runs:1 ~count:4 () in
+  Alcotest.(check int) "2 modes x 2 levels" 4 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Exp_malleable.mode ^ "/" ^ p.Exp_malleable.level ^ " finite")
+        true
+        (Float.is_finite p.Exp_malleable.unfairness
+        && Float.is_finite p.Exp_malleable.relative_makespan
+        && p.Exp_malleable.relative_makespan >= 1.);
+      if p.Exp_malleable.mode = "moldable" then
+        Alcotest.(check (float 0.)) "moldable never resizes" 0.
+          p.Exp_malleable.resizes)
+    points
+
 let test_strassen_ps_width_equals_es () =
   (* Width-based strategies are ES on fixed-shape Strassen PTGs. *)
   let rng = Prng.create ~seed:6 in
@@ -242,5 +261,7 @@ let suite =
           test_single_ptg_expected_ordering;
         Alcotest.test_case "validation bounded" `Slow
           test_validation_errors_bounded;
+        Alcotest.test_case "malleable experiment (X9)" `Slow
+          test_malleable_experiment_shape;
       ] );
   ]

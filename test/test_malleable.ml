@@ -1,0 +1,463 @@
+(* Malleable execution: the resize model, the engine's grow/shrink
+   path, the off-switch bit-identity guarantee, and the shrink-kernel
+   gating regression (shrink must follow the kernel, not fault mode). *)
+
+module Grid5000 = Mcs_platform.Grid5000
+module Platform = Mcs_platform.Platform
+module Prng = Mcs_prng.Prng
+module Ptg = Mcs_ptg.Ptg
+module Builder = Mcs_ptg.Builder
+module Task = Mcs_taskmodel.Task
+module Schedule = Mcs_sched.Schedule
+module Strategy = Mcs_sched.Strategy
+module Malleability = Mcs_sched.Malleability
+open Mcs_online
+
+let random_ptgs n seed =
+  let rng = Prng.create ~seed in
+  List.init n (fun id ->
+      Mcs_ptg.Random_gen.generate ~id rng Mcs_ptg.Random_gen.default)
+
+let poisson_releases n seed ~mean =
+  let rng = Prng.create ~seed in
+  let clock = ref 0. in
+  List.init n (fun i ->
+      if i = 0 then 0.
+      else begin
+        clock := !clock +. Prng.exponential rng ~mean;
+        !clock
+      end)
+
+let workload n seed ~mean =
+  List.combine (random_ptgs n seed) (poisson_releases n (seed + 1) ~mean)
+
+let fault_scenario_for platform seed =
+  Mcs_fault.Fault.generate ~seed platform
+    {
+      Mcs_fault.Fault.default with
+      Mcs_fault.Fault.mttf = 400.;
+      mttr = 60.;
+      task_fail_p = 0.1;
+      horizon = 1500.;
+    }
+
+(* One full run to quiescence: the JSONL log plus the result. *)
+let run_logged ?faults ?check ~kernel platform apps =
+  let logs = ref [] in
+  let log e = logs := Log.to_json e :: !logs in
+  let s =
+    Engine.create ~log ?faults ?check ~kernel
+      ~policy:kernel.Policy_kernel.policy platform apps
+  in
+  Engine.advance s;
+  (List.rev !logs, Engine.result s)
+
+(* Same run interrupted at [split]: snapshot, abandon, finish on the
+   restore. *)
+let run_split ?faults ?check ~kernel ~split platform apps =
+  let logs = ref [] in
+  let log e = logs := Log.to_json e :: !logs in
+  let s =
+    Engine.create ~log ?faults ?check ~kernel
+      ~policy:kernel.Policy_kernel.policy platform apps
+  in
+  Engine.advance ~upto:split s;
+  let s' = Engine.restore ~log ?check (Engine.snapshot s) in
+  Engine.advance s';
+  (List.rev !logs, Engine.result s')
+
+let same_outcome (l0, r0) (l1, r1) =
+  l0 = l1
+  && Array.for_all2 Float.equal r0.Engine.completions r1.Engine.completions
+  && r0.Engine.executions = r1.Engine.executions
+
+(* ---------- The model itself ---------- *)
+
+let test_model_validation () =
+  Malleability.validate Malleability.default;
+  let raises m =
+    try
+      Malleability.validate m;
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero quantum" true
+    (raises { Malleability.default with Malleability.quantum = 0. });
+  Alcotest.(check bool) "nan quantum" true
+    (raises { Malleability.default with Malleability.quantum = Float.nan });
+  Alcotest.(check bool) "negative cost" true
+    (raises { Malleability.default with Malleability.redist_cost = -1. });
+  Alcotest.(check bool) "zero min width" true
+    (raises { Malleability.default with Malleability.min_width = 0 });
+  Alcotest.(check bool) "max below min" true
+    (raises
+       { Malleability.default with Malleability.min_width = 4; max_width = 2 });
+  Alcotest.(check bool) "negative threshold" true
+    (raises
+       { Malleability.default with Malleability.shrink_active_above = -1 })
+
+let test_model_grid_and_targets () =
+  let m = { Malleability.default with Malleability.quantum = 30. } in
+  let check_float = Alcotest.(check (float 1e-9)) in
+  (* The next point is strictly in the future, on the segment's grid. *)
+  check_float "at start" 30. (Malleability.next_resize_point m ~start:0. ~now:0.);
+  check_float "mid-quantum" 30.
+    (Malleability.next_resize_point m ~start:0. ~now:15.);
+  check_float "on the grid" 60.
+    (Malleability.next_resize_point m ~start:0. ~now:30.);
+  check_float "offset start" 35.
+    (Malleability.next_resize_point m ~start:5. ~now:20.);
+  check_float "cost per moved" 0.25
+    (Malleability.resize_cost
+       { m with Malleability.redist_cost = 0.05 }
+       ~moved:5);
+  (* Threshold targets: spike shrinks by halving, drain doubles,
+     in-between leaves the width alone; everything clamps. *)
+  let m =
+    {
+      m with
+      Malleability.shrink_active_above = 2;
+      grow_active_below = 2;
+      min_width = 2;
+      max_width = 12;
+    }
+  in
+  Alcotest.(check int) "spike halves" 4
+    (Malleability.target_width m ~active:5 ~width:8 ~cap:16);
+  Alcotest.(check int) "halving floors at min_width" 2
+    (Malleability.target_width m ~active:5 ~width:3 ~cap:16);
+  Alcotest.(check int) "drain doubles" 8
+    (Malleability.target_width m ~active:1 ~width:4 ~cap:16);
+  Alcotest.(check int) "growth clamps to cap" 5
+    (Malleability.target_width m ~active:1 ~width:4 ~cap:5);
+  Alcotest.(check int) "growth clamps to max_width" 12
+    (Malleability.target_width m ~active:1 ~width:8 ~cap:16);
+  Alcotest.(check int) "steady width untouched" 6
+    (Malleability.target_width m ~active:2 ~width:6 ~cap:16)
+
+(* ---------- Off-switch bit-identity (satellite: differential) ---------- *)
+
+(* A malleability model that can never act: its grid points all lie
+   beyond any finish. The engine must not even arm an opportunity. *)
+let inert_model = { Malleability.default with Malleability.quantum = 1e9 }
+
+(* A model whose grid fires constantly but whose thresholds never
+   trigger: every opportunity is declined. The event stream gains
+   resize pops, the log must not change at all. *)
+let declined_model =
+  {
+    Malleability.default with
+    Malleability.quantum = 20.;
+    shrink_active_above = max_int;
+    grow_active_below = 0;
+  }
+
+let kernel_with ?malleability strategy =
+  Policy_kernel.default (Policy.make ?malleability strategy)
+
+let test_disabled_is_bit_identical () =
+  let platform = Grid5000.rennes () in
+  let strategy = Strategy.Weighted (Strategy.Work, 0.7) in
+  let apps = workload 6 42 ~mean:25. in
+  let off = run_logged ~kernel:(kernel_with strategy) platform apps in
+  List.iter
+    (fun (name, m) ->
+      let on_ = run_logged ~kernel:(kernel_with ~malleability:m strategy) platform apps in
+      Alcotest.(check bool)
+        (name ^ " model leaves the run bit-identical")
+        true (same_outcome off on_);
+      Alcotest.(check int) (name ^ ": zero resizes") 0
+        (snd on_).Engine.stats.Engine.resizes)
+    [ ("inert", inert_model); ("declined", declined_model) ]
+
+let test_disabled_is_bit_identical_faults () =
+  let platform = Grid5000.rennes () in
+  let strategy = Strategy.Weighted (Strategy.Work, 0.7) in
+  let apps = workload 6 77 ~mean:20. in
+  let faults = fault_scenario_for platform 5 in
+  let off = run_logged ~faults ~kernel:(kernel_with strategy) platform apps in
+  Alcotest.(check bool)
+    "scenario exercises faults" true
+    ((snd off).Engine.stats.Engine.kills > 0
+    || (snd off).Engine.stats.Engine.task_failures > 0);
+  let on_ =
+    run_logged ~faults
+      ~kernel:(kernel_with ~malleability:inert_model strategy)
+      platform apps
+  in
+  Alcotest.(check bool)
+    "faulted run bit-identical with the inert model" true
+    (same_outcome off on_)
+
+let test_disabled_is_bit_identical_snapshot () =
+  (* The snapshot round-trip must not perturb the disabled run either:
+     plain-off, split-off and split-with-inert-model all coincide. *)
+  let platform = Grid5000.rennes () in
+  let strategy = Strategy.Weighted (Strategy.Work, 0.7) in
+  let apps = workload 6 21 ~mean:25. in
+  let off = run_logged ~kernel:(kernel_with strategy) platform apps in
+  List.iter
+    (fun split ->
+      Alcotest.(check bool) "split off-run identical" true
+        (same_outcome off
+           (run_split ~kernel:(kernel_with strategy) ~split platform apps));
+      Alcotest.(check bool) "split inert-model run identical" true
+        (same_outcome off
+           (run_split
+              ~kernel:(kernel_with ~malleability:inert_model strategy)
+              ~split platform apps)))
+    [ 40.; 90. ]
+
+(* ---------- A run that actually resizes ---------- *)
+
+(* Drain scenario: one long single-task application plus a pack of
+   short ones, all released together. Under ES everybody starts narrow;
+   the short applications depart quickly, the survivor's running task
+   is grown at the next resize points. *)
+let drain_apps () =
+  let solo id seconds =
+    ( Builder.build ~id ~name:(Printf.sprintf "app%d" id)
+        ~tasks:
+          [|
+            Task.make ~data:(seconds *. 1e9) ~complexity:(Stencil 1.)
+              ~alpha:0.;
+          |]
+        ~edges:[],
+      0. )
+  in
+  solo 0 600. :: List.init 4 (fun i -> solo (i + 1) 20.)
+
+let drain_platform () =
+  Platform.make ~name:"uni16"
+    [ { Platform.cluster_name = "c"; procs = 16; gflops = 1.; switch = 0 } ]
+
+let grow_model =
+  {
+    Malleability.default with
+    Malleability.quantum = 10.;
+    redist_cost = 0.05;
+    grow_active_below = 2;
+    shrink_active_above = 1000;
+  }
+
+let test_grow_on_drain_beats_moldable () =
+  let platform = drain_platform () in
+  let apps = drain_apps () in
+  let errors = ref 0 in
+  let check ds =
+    errors := !errors + List.length (Mcs_check.Diagnostic.errors ds)
+  in
+  let moldable =
+    run_logged ~check ~kernel:(kernel_with Strategy.Equal_share) platform apps
+  in
+  let malleable =
+    run_logged ~check
+      ~kernel:(kernel_with ~malleability:grow_model Strategy.Equal_share)
+      platform apps
+  in
+  let makespan (_, r) =
+    Array.fold_left Float.max 0. r.Engine.completions
+  in
+  Alcotest.(check bool) "malleable run resizes" true
+    ((snd malleable).Engine.stats.Engine.resizes > 0);
+  Alcotest.(check int) "both runs checker-clean (MAL included)" 0 !errors;
+  Alcotest.(check bool)
+    (Printf.sprintf "malleable makespan %g beats moldable %g"
+       (makespan malleable) (makespan moldable))
+    true
+    (makespan malleable < makespan moldable);
+  (* The resize trail is externally observable and well-formed. *)
+  let resized_lines =
+    List.filter
+      (fun l ->
+        String.length l > 20
+        && String.sub l 0 20 = {|{"event":"task_resiz|})
+      (fst malleable)
+  in
+  Alcotest.(check int) "one log line per resize"
+    (snd malleable).Engine.stats.Engine.resizes
+    (List.length resized_lines);
+  (* Final schedules remain structurally valid (precedence, clusters,
+     cross-application processor exclusivity). *)
+  match Schedule.validate ~platform (snd malleable).Engine.schedules with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail v.Schedule.message
+
+let test_shrink_on_spike () =
+  (* The mirror scenario: a lone wide application is joined by a burst
+     of arrivals; its running task shrinks at the next resize point and
+     the freed processors host the newcomers. *)
+  let platform = drain_platform () in
+  let solo id seconds release =
+    ( Builder.build ~id ~name:(Printf.sprintf "app%d" id)
+        ~tasks:
+          [|
+            Task.make ~data:(seconds *. 1e9) ~complexity:(Stencil 1.)
+              ~alpha:0.;
+          |]
+        ~edges:[],
+      release )
+  in
+  let apps =
+    solo 0 600. 0. :: List.init 4 (fun i -> solo (i + 1) 40. 5.)
+  in
+  let model =
+    {
+      Malleability.default with
+      Malleability.quantum = 10.;
+      shrink_active_above = 2;
+      grow_active_below = 0;
+    }
+  in
+  let errors = ref 0 in
+  let check ds =
+    errors := !errors + List.length (Mcs_check.Diagnostic.errors ds)
+  in
+  let _, r =
+    run_logged ~check
+      ~kernel:(kernel_with ~malleability:model Strategy.Equal_share)
+      platform apps
+  in
+  Alcotest.(check bool) "spike shrinks the running task" true
+    (r.Engine.stats.Engine.resizes > 0);
+  Alcotest.(check int) "checker-clean" 0 !errors;
+  let shrank =
+    List.exists
+      (fun e ->
+        e.Mcs_check.Fault_check.outcome = Mcs_check.Fault_check.Resized)
+      r.Engine.executions
+  in
+  Alcotest.(check bool) "a resized segment is recorded" true shrank
+
+let test_malleable_snapshot_restore () =
+  (* Snapshot/restore transparency with malleability ON: armed resize
+     opportunities survive the round-trip. *)
+  let platform = drain_platform () in
+  let apps = drain_apps () in
+  let kernel = kernel_with ~malleability:grow_model Strategy.Equal_share in
+  let plain = run_logged ~kernel platform apps in
+  Alcotest.(check bool) "run resizes" true
+    ((snd plain).Engine.stats.Engine.resizes > 0);
+  List.iter
+    (fun split ->
+      Alcotest.(check bool)
+        (Printf.sprintf "malleable split at %g is bit-identical" split)
+        true
+        (same_outcome plain (run_split ~kernel ~split platform apps)))
+    [ 5.; 15.; 35.; 100. ]
+
+let test_malleable_faulted_checker_clean () =
+  (* Malleability and fault injection together: resized segments can be
+     killed and retried; the combined run stays audit-clean under both
+     the FAULT and MAL rule families. *)
+  let platform = Grid5000.rennes () in
+  let apps = workload 6 77 ~mean:20. in
+  let faults = fault_scenario_for platform 5 in
+  let model =
+    {
+      Malleability.default with
+      Malleability.quantum = 15.;
+      grow_active_below = 3;
+      shrink_active_above = 3;
+    }
+  in
+  let errors = ref [] in
+  let check ds = errors := Mcs_check.Diagnostic.errors ds @ !errors in
+  let _, r =
+    run_logged ~faults ~check
+      ~kernel:
+        (kernel_with ~malleability:model
+           (Strategy.Weighted (Strategy.Work, 0.7)))
+      platform apps
+  in
+  Alcotest.(check bool) "faults exercised" true
+    (r.Engine.stats.Engine.kills > 0 || r.Engine.stats.Engine.task_failures > 0);
+  Alcotest.(check int) "no checker errors" 0 (List.length !errors)
+
+let test_custom_resize_kernel () =
+  (* The kernel closure overrides the model's thresholds: a kernel that
+     always grows to the cap beats the default trigger to it. *)
+  let platform = drain_platform () in
+  let apps = drain_apps () in
+  let widths = ref [] in
+  let base = Policy.make ~malleability:grow_model Strategy.Equal_share in
+  let kernel =
+    Policy_kernel.make ~name:"grow-to-cap"
+      ~resize:(fun ~active:_ ~width ~cap ->
+        if cap > width then cap else width)
+      base
+  in
+  let log = function
+    | Log.Task_resized { to_width; _ } -> widths := to_width :: !widths
+    | _ -> ()
+  in
+  let s = Engine.create ~log ~kernel ~policy:base platform apps in
+  Engine.advance s;
+  let r = Engine.result s in
+  Alcotest.(check bool) "kernel resizes" true
+    (r.Engine.stats.Engine.resizes > 0);
+  (* The default doubling trigger would pass through width 2·w < 16;
+     grow-to-cap jumps straight to every idle processor. *)
+  Alcotest.(check bool) "first resize grabs the whole idle pool" true
+    (match List.rev !widths with w :: _ -> w > 8 | [] -> false)
+
+(* ---------- Shrink-kernel gating (satellite: bugfix) ---------- *)
+
+let test_shrink_kernel_without_fault_mode () =
+  (* Regression: the engine applied a kernel's shrink closure only under
+     fault injection. A custom kernel shrinking on its own signal (here:
+     unconditionally) must take effect in a fault-free run too. *)
+  let platform = Grid5000.rennes () in
+  let apps = workload 5 42 ~mean:25. in
+  let policy = Policy.make (Strategy.Weighted (Strategy.Work, 0.7)) in
+  let plain = run_logged ~kernel:(Policy_kernel.default policy) platform apps in
+  let halving =
+    run_logged
+      ~kernel:
+        (Policy_kernel.make ~name:"always-halve"
+           ~shrink:(fun ~failures:_ ~procs -> max 1 (procs / 2))
+           policy)
+      platform apps
+  in
+  Alcotest.(check bool)
+    "unconditional shrink changes a fault-free run" false
+    (same_outcome plain halving);
+  (* And the reason the fix is safe: the registry's shrink-retry kernel
+     is the identity at zero failures, so it never was (and still is
+     not) observable without faults. *)
+  let registry =
+    run_logged
+      ~kernel:(Policy_kernel.of_name "shrink-retry" ~base:policy)
+      platform apps
+  in
+  Alcotest.(check bool)
+    "shrink-retry is bit-identical fault-free" true
+    (same_outcome plain registry)
+
+let suite =
+  [
+    ( "online.malleable",
+      [
+        Alcotest.test_case "model validation" `Quick test_model_validation;
+        Alcotest.test_case "resize grid & threshold targets" `Quick
+          test_model_grid_and_targets;
+        Alcotest.test_case "disabled ⇒ bit-identical" `Quick
+          test_disabled_is_bit_identical;
+        Alcotest.test_case "disabled ⇒ bit-identical (faults)" `Quick
+          test_disabled_is_bit_identical_faults;
+        Alcotest.test_case "disabled ⇒ bit-identical (snapshot)" `Quick
+          test_disabled_is_bit_identical_snapshot;
+        Alcotest.test_case "grow on drain beats moldable" `Quick
+          test_grow_on_drain_beats_moldable;
+        Alcotest.test_case "shrink on arrival spike" `Quick
+          test_shrink_on_spike;
+        Alcotest.test_case "snapshot/restore with malleability on" `Quick
+          test_malleable_snapshot_restore;
+        Alcotest.test_case "malleable + faults checker-clean" `Quick
+          test_malleable_faulted_checker_clean;
+        Alcotest.test_case "custom resize kernel" `Quick
+          test_custom_resize_kernel;
+        Alcotest.test_case "shrink kernel acts without fault mode" `Quick
+          test_shrink_kernel_without_fault_mode;
+      ] );
+  ]

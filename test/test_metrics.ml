@@ -25,6 +25,30 @@ let test_degenerate_apps_skipped () =
        ~multi:[| 1.; 1. |]);
   check_float "empty is fair" 0. (Metrics.unfairness [||])
 
+let test_all_degenerate_saturates () =
+  (* Regression: every shape of an all-degenerate population must
+     saturate to exactly 0.0 — never NaN, never an exception — so one
+     pathological draw cannot poison a sweep's aggregate. *)
+  check_float "empty arrays" 0.
+    (Metrics.unfairness_of_makespans ~own:[||] ~multi:[||]);
+  check_float "all zero own" 0.
+    (Metrics.unfairness_of_makespans ~own:[| 0.; 0.; 0. |]
+       ~multi:[| 1.; 2.; 3. |]);
+  check_float "all zero multi" 0.
+    (Metrics.unfairness_of_makespans ~own:[| 1.; 2. |] ~multi:[| 0.; 0. |]);
+  check_float "all nan" 0.
+    (Metrics.unfairness_of_makespans
+       ~own:[| Float.nan; Float.nan |]
+       ~multi:[| Float.nan; Float.nan |]);
+  check_float "all infinite" 0.
+    (Metrics.unfairness_of_makespans
+       ~own:[| Float.infinity; Float.neg_infinity |]
+       ~multi:[| 1.; 1. |]);
+  check_float "mixed degeneracies" 0.
+    (Metrics.unfairness_of_makespans
+       ~own:[| 0.; Float.nan; Float.infinity |]
+       ~multi:[| 1.; 1.; 0. |])
+
 let test_average_slowdown () =
   check_float "avg" 0.84
     (Metrics.average_slowdown [| 1.; 1.; 1.; 1.; 1.; 1.; 1.; 1.; 0.2; 0.2 |])
@@ -94,6 +118,8 @@ let suite =
         Alcotest.test_case "from makespans" `Quick test_unfairness_of_makespans;
         Alcotest.test_case "degenerate apps skipped" `Quick
           test_degenerate_apps_skipped;
+        Alcotest.test_case "all-degenerate saturates to zero" `Quick
+          test_all_degenerate_saturates;
         Alcotest.test_case "relative makespan" `Quick test_relative_makespan;
         QCheck_alcotest.to_alcotest qcheck_unfairness_nonneg_and_bounded;
         QCheck_alcotest.to_alcotest qcheck_unfairness_translation_insensitive;
